@@ -1,0 +1,129 @@
+package repro
+
+// Ablation benchmarks for the design choices documented in DESIGN.md §5:
+// the Dijkstra-based InferAll versus the paper-faithful Floyd–Warshall
+// variant of Algorithm 2, the exact bitmask-DP posterior versus the
+// local-exclusion approximation, per-loop edge re-estimation, and the
+// hybrid (partial-order + propagation) future-work extension.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/propagation"
+)
+
+func preparedIIMB(b *testing.B) *core.Prepared {
+	b.Helper()
+	ds := datasets.IIMB(1)
+	return core.Prepare(ds.K1, ds.K2, core.DefaultConfig())
+}
+
+// BenchmarkAblation_InferAllDijkstra measures the default bounded-Dijkstra
+// all-pairs discovery of inferred sets.
+func BenchmarkAblation_InferAllDijkstra(b *testing.B) {
+	p := preparedIIMB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Prob.InferAll(0.9)
+	}
+}
+
+// BenchmarkAblation_InferAllFloydWarshall measures the paper's modified
+// Floyd–Warshall (Algorithm 2 as printed); it computes identical maps but
+// scales quadratically in the per-vertex reachable-set size.
+func BenchmarkAblation_InferAllFloydWarshall(b *testing.B) {
+	p := preparedIIMB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Prob.InferAllFW(0.9)
+	}
+}
+
+// BenchmarkAblation_PosteriorExact measures the exact bitmask-DP
+// marginalization on a dense 8×8 neighborhood.
+func BenchmarkAblation_PosteriorExact(b *testing.B) {
+	nb := denseNeighborhood(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nb.Posteriors()
+	}
+}
+
+// BenchmarkAblation_PosteriorApprox measures the same neighborhood under
+// the local-exclusion approximation used beyond the exact cutoff.
+func BenchmarkAblation_PosteriorApprox(b *testing.B) {
+	nb := denseNeighborhood(20) // beyond MaxExactSide on both sides
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nb.Posteriors()
+	}
+}
+
+func denseNeighborhood(n int) *propagation.Neighborhood {
+	nb := &propagation.Neighborhood{N1Size: n, N2Size: n, Eps1: 0.9, Eps2: 0.9}
+	id := 0
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if (r+c)%3 == 0 {
+				continue
+			}
+			prior := 0.3
+			if r == c {
+				prior = 0.9
+			}
+			nb.Cands = append(nb.Cands, propagation.CandidatePair{
+				Row: r, Col: c,
+				Pair:  pair.Pair{U1: kb.EntityID(id), U2: kb.EntityID(id)},
+				Prior: prior,
+			})
+			id++
+		}
+	}
+	return nb
+}
+
+// BenchmarkAblation_RempPlain runs the full pipeline with the paper's
+// default configuration.
+func BenchmarkAblation_RempPlain(b *testing.B) {
+	benchPipeline(b, func(cfg *core.Config) {})
+}
+
+// BenchmarkAblation_RempNoReestimate disables per-loop consistency and
+// edge re-estimation (§VII-A).
+func BenchmarkAblation_RempNoReestimate(b *testing.B) {
+	benchPipeline(b, func(cfg *core.Config) { cfg.Reestimate = false })
+}
+
+// BenchmarkAblation_RempHybrid enables the partial-order + propagation
+// hybrid (the paper's §IX future work).
+func BenchmarkAblation_RempHybrid(b *testing.B) {
+	benchPipeline(b, func(cfg *core.Config) { cfg.Hybrid = true })
+}
+
+// BenchmarkAblation_RempNoClassifier disables the isolated-pair forest.
+func BenchmarkAblation_RempNoClassifier(b *testing.B) {
+	benchPipeline(b, func(cfg *core.Config) { cfg.ClassifyIsolated = false })
+}
+
+func benchPipeline(b *testing.B, mutate func(*core.Config)) {
+	ds := datasets.IMDBYAGO(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		mutate(&cfg)
+		p := core.Prepare(ds.K1, ds.K2, cfg)
+		res := p.Run(core.NewOracleAsker(ds.Gold.IsMatch))
+		prf := pair.Evaluate(res.Matches, ds.Gold)
+		b.ReportMetric(prf.F1*100, "F1%")
+		b.ReportMetric(float64(res.Questions), "questions")
+	}
+}

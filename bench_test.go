@@ -1,0 +1,79 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (§VIII) under testing.B, one benchmark per
+// artifact. Each iteration runs the corresponding experiments driver on
+// the full synthetic dataset suite, so b.N=1 already produces the paper's
+// rows (written to io.Discard here; use cmd/remp-bench to see them).
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func(w io.Writer, seed int64)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run(io.Discard, experiments.DefaultSeed)
+	}
+}
+
+// BenchmarkTable3_RealWorkers regenerates Table III: F1 and #questions for
+// Remp vs HIKE/POWER/Corleone under the simulated MTurk-quality pool.
+func BenchmarkTable3_RealWorkers(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Table3(w, s) })
+}
+
+// BenchmarkFigure3_ErrorRates regenerates Figure 3: the same comparison
+// under worker error rates 0.05 / 0.15 / 0.25.
+func BenchmarkFigure3_ErrorRates(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Figure3(w, s) })
+}
+
+// BenchmarkTable4_AttrMatching regenerates Table IV: attribute matching
+// effectiveness with and without the 1:1 constraint.
+func BenchmarkTable4_AttrMatching(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Table4(w, s) })
+}
+
+// BenchmarkTable5_Pruning regenerates Table V: partial-order pruning
+// effectiveness at k=4.
+func BenchmarkTable5_Pruning(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Table5(w, s) })
+}
+
+// BenchmarkFigure4_PairCompleteness regenerates Figure 4: pair
+// completeness of the retained matches as k sweeps 1..13.
+func BenchmarkFigure4_PairCompleteness(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Figure4(w, s) })
+}
+
+// BenchmarkTable6_SeedPropagation regenerates Table VI: propagation-only
+// Remp vs PARIS and SiGMa across seed portions.
+func BenchmarkTable6_SeedPropagation(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Table6(w, s) })
+}
+
+// BenchmarkFigure5_QuestionBenefit regenerates Figure 5: F1 versus
+// #questions for the benefit function against MaxInf and MaxPr.
+func BenchmarkFigure5_QuestionBenefit(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Figure5(w, s) })
+}
+
+// BenchmarkTable7_BatchSize regenerates Table VII: the µ sweep.
+func BenchmarkTable7_BatchSize(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Table7(w, s) })
+}
+
+// BenchmarkTable8_IsolatedPairs regenerates Table VIII: the isolated-pair
+// random forest.
+func BenchmarkTable8_IsolatedPairs(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Table8(w, s) })
+}
+
+// BenchmarkFigure6_Scalability regenerates Figure 6: runtime of
+// Algorithms 1–3 on growing portions of the D-Y pairs.
+func BenchmarkFigure6_Scalability(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.Figure6(w, s) })
+}

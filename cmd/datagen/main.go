@@ -1,0 +1,82 @@
+// Command datagen generates the synthetic benchmark datasets and writes
+// them to disk in the TSV format that cmd/remp consumes: <name>.kb1.tsv,
+// <name>.kb2.tsv and <name>.gold.tsv.
+//
+// Usage:
+//
+//	datagen -dataset iimb -out ./data
+//	datagen -dataset all -seed 7 -out ./data
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datasets"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	name := flag.String("dataset", "all", "dataset to generate: all, "+strings.Join(datasets.Names(), ", "))
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	var list []*datasets.Dataset
+	if *name == "all" {
+		list = datasets.All(*seed)
+	} else {
+		ds, err := datasets.ByName(*name, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		list = []*datasets.Dataset{ds}
+	}
+
+	for _, ds := range list {
+		base := strings.ToLower(ds.Name)
+		if err := writeDataset(ds, *out, base); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s | %s | %d gold matches → %s/%s.*.tsv\n",
+			ds.Name, ds.K1.Stats(), ds.K2.Stats(), ds.Gold.Size(), *out, base)
+	}
+}
+
+func writeDataset(ds *datasets.Dataset, dir, base string) error {
+	write := func(suffix string, fn func(*bufio.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, base+suffix))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		if err := fn(w); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := write(".kb1.tsv", func(w *bufio.Writer) error { return ds.K1.WriteTSV(w) }); err != nil {
+		return err
+	}
+	if err := write(".kb2.tsv", func(w *bufio.Writer) error { return ds.K2.WriteTSV(w) }); err != nil {
+		return err
+	}
+	return write(".gold.tsv", func(w *bufio.Writer) error {
+		for _, m := range ds.Gold.Matches() {
+			fmt.Fprintf(w, "%s\t%s\n", ds.K1.EntityName(m.U1), ds.K2.EntityName(m.U2))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,47 @@
+// Command remp-bench regenerates the paper's evaluation artifacts: every
+// table and figure of §VIII, on the synthetic dataset suite.
+//
+// Usage:
+//
+//	remp-bench -experiment all          # everything, paper order
+//	remp-bench -experiment table3       # one artifact
+//	remp-bench -list                    # available experiments
+//	remp-bench -experiment table6 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "random seed for datasets, workers and samplers")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Order() {
+			fmt.Printf("%-8s  %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	start := time.Now()
+	if *experiment == "all" {
+		experiments.All(os.Stdout, *seed)
+	} else {
+		runner, ok := experiments.Registry()[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "remp-bench: unknown experiment %q; available: %v\n",
+				*experiment, experiments.Names())
+			os.Exit(2)
+		}
+		runner(os.Stdout, *seed)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Crowdsourced
+// Collective Entity Resolution with Relational Match Propagation" (Huang,
+// Hu, Bao, Qu — ICDE 2020). The public API lives in package remp; the
+// paper's pipeline, substrates, competitor baselines, synthetic datasets
+// and experiment drivers live under internal/. The root package carries
+// the benchmark suite (bench_test.go) that regenerates every table and
+// figure of the paper's evaluation.
+package repro

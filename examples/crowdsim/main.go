@@ -1,0 +1,37 @@
+// Crowdsim: error-tolerant truth inference under increasingly unreliable
+// workers (Figure 3 in miniature).
+//
+// The same dataset is resolved with simulated crowds whose workers err 5%,
+// 15% and 25% of the time. Five redundant labels per question plus the
+// worker-probability posterior of Eq. (17) keep F1 nearly flat while the
+// question count grows slowly — the paper's robustness claim.
+//
+//	go run ./examples/crowdsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datasets"
+	"repro/remp"
+)
+
+func main() {
+	fmt.Printf("%-10s %8s %8s %8s %6s\n", "error rate", "P", "R", "F1", "#Q")
+	for _, rate := range []float64{0.05, 0.15, 0.25} {
+		ds := datasets.IIMB(11)
+		crowd := remp.NewSimulatedCrowd(ds.Gold.IsMatch, remp.CrowdConfig{
+			ErrorRate:          rate,
+			WorkersPerQuestion: 5,
+			Seed:               11,
+		})
+		res, err := remp.Resolve(remp.Dataset{K1: ds.K1, K2: ds.K2}, crowd, remp.Options{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prf := remp.Evaluate(res.Matches, ds.Gold)
+		fmt.Printf("%-10.2f %7.1f%% %7.1f%% %7.1f%% %6d\n",
+			rate, 100*prf.Precision, 100*prf.Recall, 100*prf.F1, res.Questions)
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: resolve two tiny knowledge bases with the public remp API.
+//
+// Two KBs describe the same eight books and their authors with slightly
+// different vocabularies. A simulated crowd answers questions from the
+// gold standard; Remp asks about a few author pairs and infers the books
+// through the written-by relationship.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/remp"
+)
+
+func main() {
+	k1 := remp.NewKB("library")
+	k2 := remp.NewKB("catalog")
+
+	name1 := k1.AddAttr("name")
+	name2 := k2.AddAttr("label")
+	wrote1 := k1.AddRel("wrote")
+	wrote2 := k2.AddRel("authorOf")
+
+	authors := []string{
+		"toni morrison", "gabriel garcia marquez", "virginia woolf",
+		"james baldwin", "ursula le guin", "jorge luis borges",
+		"chinua achebe", "clarice lispector",
+	}
+	books := []string{
+		"beloved", "one hundred years of solitude", "to the lighthouse",
+		"go tell it on the mountain", "the left hand of darkness",
+		"ficciones", "things fall apart", "the hour of the star",
+	}
+
+	var gold []remp.Pair
+	for i := range authors {
+		a1 := k1.AddEntity("lib:author/" + authors[i])
+		a2 := k2.AddEntity("cat:person/" + authors[i])
+		k1.SetLabel(a1, authors[i])
+		k2.SetLabel(a2, authors[i])
+		k1.AddAttrTriple(a1, name1, authors[i])
+		k2.AddAttrTriple(a2, name2, authors[i])
+		gold = append(gold, remp.Pair{U1: a1, U2: a2})
+
+		b1 := k1.AddEntity("lib:book/" + books[i])
+		b2 := k2.AddEntity("cat:work/" + books[i])
+		k1.SetLabel(b1, books[i])
+		k2.SetLabel(b2, books[i])
+		k1.AddAttrTriple(b1, name1, books[i])
+		k2.AddAttrTriple(b2, name2, books[i])
+		k1.AddRelTriple(a1, wrote1, b1)
+		k2.AddRelTriple(a2, wrote2, b2)
+		gold = append(gold, remp.Pair{U1: b1, U2: b2})
+	}
+	goldStd := remp.NewGold(gold)
+
+	crowd := remp.NewSimulatedCrowd(goldStd.IsMatch, remp.CrowdConfig{Seed: 42})
+	res, err := remp.Resolve(remp.Dataset{K1: k1, K2: k2}, crowd, remp.Options{Mu: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prf := remp.Evaluate(res.Matches, goldStd)
+	fmt.Printf("resolved %d of %d matches with %d crowd questions\n",
+		len(res.Matches), goldStd.Size(), res.Questions)
+	fmt.Printf("precision %.0f%%  recall %.0f%%  F1 %.0f%%\n",
+		100*prf.Precision, 100*prf.Recall, 100*prf.F1)
+	fmt.Printf("%d confirmed by the crowd, %d inferred through relationships\n",
+		len(res.Confirmed), len(res.Propagated))
+}

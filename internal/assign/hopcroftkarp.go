@@ -1,0 +1,73 @@
+package assign
+
+// HopcroftKarp computes a maximum-cardinality matching in a bipartite graph
+// with nLeft left vertices and nRight right vertices; adj[i] lists the right
+// neighbors of left vertex i. It returns the matching size and matchL where
+// matchL[i] is the right vertex matched to left vertex i (or -1).
+//
+// By König's theorem the minimum vertex cover of a bipartite graph equals
+// the maximum matching, which internal/eval uses to compute the minimal
+// number of labels any monotone classifier must get wrong (Tao, PODS'18).
+func HopcroftKarp(nLeft, nRight int, adj [][]int) (int, []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return size, matchL
+}

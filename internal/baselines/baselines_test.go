@@ -1,0 +1,149 @@
+package baselines_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/corleone"
+	"repro/internal/baselines/hike"
+	"repro/internal/baselines/paris"
+	"repro/internal/baselines/power"
+	"repro/internal/baselines/sigma"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/datasets"
+	"repro/internal/pair"
+)
+
+func prepared(t *testing.T) (*core.Prepared, *datasets.Dataset) {
+	t.Helper()
+	ds := datasets.IIMB(1)
+	p := core.Prepare(ds.K1, ds.K2, core.DefaultConfig())
+	return p, ds
+}
+
+func crowdAsker(ds *datasets.Dataset, seed int64) core.Asker {
+	return crowd.NewPlatform(ds.Gold.IsMatch, crowd.Config{
+		NumWorkers: 50, WorkersPerQuestion: 5, QualityLow: 0.93, QualityHigh: 0.99, Seed: seed,
+	})
+}
+
+func sampleSeeds(ds *datasets.Dataset, portion float64, seed int64) []pair.Pair {
+	all := ds.Gold.Matches()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(all))
+	n := int(portion * float64(len(all)))
+	out := make([]pair.Pair, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+func TestCrowdBaselinesProduceReasonableResults(t *testing.T) {
+	p, ds := prepared(t)
+	methods := []baselines.Method{
+		hike.Method{},
+		power.Method{},
+		corleone.Method{},
+	}
+	for _, m := range methods {
+		asker := crowdAsker(ds, 7)
+		in := baselines.FromPrepared(p, asker, nil, 7)
+		out := m.Run(in)
+		prf := pair.Evaluate(out.Matches, ds.Gold)
+		t.Logf("%s: F1=%.3f P=%.3f R=%.3f Q=%d", m.Name(), prf.F1, prf.Precision, prf.Recall, out.Questions)
+		if prf.F1 < 0.5 {
+			t.Errorf("%s: F1 = %v, unreasonably low", m.Name(), prf.F1)
+		}
+		if out.Questions == 0 {
+			t.Errorf("%s: asked no questions", m.Name())
+		}
+		if out.Questions > len(p.Retained) {
+			t.Errorf("%s: asked more questions (%d) than candidate pairs (%d)",
+				m.Name(), out.Questions, len(p.Retained))
+		}
+	}
+}
+
+func TestCollectiveBaselinesImproveWithSeeds(t *testing.T) {
+	p, ds := prepared(t)
+	for _, m := range []baselines.Method{paris.Method{}, sigma.Method{}} {
+		var prevF1 float64
+		for _, portion := range []float64{0.2, 0.8} {
+			seeds := sampleSeeds(ds, portion, 3)
+			in := baselines.FromPrepared(p, nil, seeds, 3)
+			out := m.Run(in)
+			prf := pair.Evaluate(out.Matches, ds.Gold)
+			t.Logf("%s @%.0f%%: F1=%.3f", m.Name(), 100*portion, prf.F1)
+			if prf.F1+0.02 < prevF1 {
+				t.Errorf("%s: F1 dropped with more seeds (%v → %v)", m.Name(), prevF1, prf.F1)
+			}
+			prevF1 = prf.F1
+			// Seeds must be preserved in the output.
+			for _, s := range seeds {
+				if !out.Matches.Has(s) {
+					t.Fatalf("%s lost seed %v", m.Name(), s)
+				}
+			}
+		}
+		if prevF1 < 0.6 {
+			t.Errorf("%s: F1 with 80%% seeds = %v, want ≥ 0.6", m.Name(), prevF1)
+		}
+	}
+}
+
+func TestRempBeatsCrowdBaselinesOnQuestions(t *testing.T) {
+	// The paper's headline: same or better F1 with far fewer questions.
+	ds := datasets.IMDBYAGO(1)
+	cfg := core.DefaultConfig()
+	p := core.Prepare(ds.K1, ds.K2, cfg)
+
+	rempAsker := crowdAsker(ds, 11)
+	rempRes := p.Run(rempAsker)
+	rempPRF := pair.Evaluate(rempRes.Matches, ds.Gold)
+
+	for _, m := range []baselines.Method{hike.Method{}, power.Method{}, corleone.Method{}} {
+		p2 := core.Prepare(ds.K1, ds.K2, cfg) // fresh state
+		asker := crowdAsker(ds, 11)
+		out := m.Run(baselines.FromPrepared(p2, asker, nil, 11))
+		prf := pair.Evaluate(out.Matches, ds.Gold)
+		t.Logf("Remp: F1=%.3f Q=%d | %s: F1=%.3f Q=%d",
+			rempPRF.F1, rempRes.Questions, m.Name(), prf.F1, out.Questions)
+		// No baseline may Pareto-dominate Remp: to match Remp's F1 it must
+		// spend more questions, and with fewer questions it must lose F1.
+		// (The paper itself observes near-parity on question counts in
+		// spots, e.g. POWER on D-A.)
+		if prf.F1 >= rempPRF.F1 && out.Questions <= rempRes.Questions {
+			t.Errorf("%s Pareto-dominates Remp: F1 %.3f ≥ %.3f with Q %d ≤ %d",
+				m.Name(), prf.F1, rempPRF.F1, out.Questions, rempRes.Questions)
+		}
+	}
+	if rempPRF.F1 < 0.9 {
+		t.Errorf("Remp F1 = %v on I-Y fixture", rempPRF.F1)
+	}
+}
+
+func TestAskBoolMajority(t *testing.T) {
+	gold := pair.NewGold([]pair.Pair{{U1: 1, U2: 1}})
+	asker := crowd.NewPlatform(gold.IsMatch, crowd.Config{
+		NumWorkers: 20, WorkersPerQuestion: 5, ErrorRate: 0.05, Seed: 1,
+	})
+	if !baselines.AskBool(asker, 0.5, pair.Pair{U1: 1, U2: 1}) {
+		t.Error("true match answered false")
+	}
+	if baselines.AskBool(asker, 0.5, pair.Pair{U1: 2, U2: 2}) {
+		t.Error("non-match answered true")
+	}
+}
+
+func TestVectorScore(t *testing.T) {
+	if got := baselines.VectorScore(nil, 0.8); got != 0.8 {
+		t.Errorf("empty vector: %v, want prior", got)
+	}
+	got := baselines.VectorScore([]float64{1, 0}, 0.5)
+	if got != 0.5 {
+		t.Errorf("VectorScore = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,190 @@
+// Package corleone reimplements the decision core of Corleone (Gokhale et
+// al., SIGMOD 2014): hands-off crowdsourcing via active learning. A random
+// forest is trained on crowd-labeled pairs, each round selects the most
+// uncertain pairs (forest probability nearest 0.5) as the next crowd
+// batch, and the final forest classifies everything. Deployed per
+// entity-type partition as in the paper's setup. Its question count grows
+// with the number of uncertain regions, which is why it asks the most
+// questions in Table III.
+package corleone
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/forest"
+	"repro/internal/pair"
+)
+
+// Options tunes the active learner.
+type Options struct {
+	// BatchSize is the number of questions per active-learning round.
+	BatchSize int
+	// MaxRounds bounds the rounds per partition.
+	MaxRounds int
+	// StopUncertainty ends a partition's learning when no unlabeled pair's
+	// forest probability lies within (0.5±StopUncertainty).
+	StopUncertainty float64
+}
+
+// Method is the Corleone baseline.
+type Method struct {
+	Opts Options
+}
+
+// Name implements baselines.Method.
+func (Method) Name() string { return "Corleone" }
+
+// Run implements baselines.Method.
+func (m Method) Run(in *baselines.Input) *baselines.Output {
+	opts := m.Opts
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 10
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 10
+	}
+	if opts.StopUncertainty <= 0 {
+		opts.StopUncertainty = 0.15
+	}
+	parts := map[string][]pair.Pair{}
+	for _, p := range in.Retained {
+		key := baselines.TypeKey(in.K1, in.K2, p)
+		parts[key] = append(parts[key], p)
+	}
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rng := rand.New(rand.NewSource(in.Seed + 13))
+	out := &baselines.Output{Matches: pair.Set{}}
+	for _, key := range keys {
+		m.runPartition(in, parts[key], opts, rng, out)
+	}
+	out.Questions = in.Asker.NumQuestions()
+	return out
+}
+
+func (m Method) runPartition(in *baselines.Input, block []pair.Pair, opts Options, rng *rand.Rand, out *baselines.Output) {
+	features := func(p pair.Pair) []float64 {
+		v := in.Vectors[p]
+		f := make([]float64, len(v)+1)
+		copy(f, v)
+		f[len(v)] = in.Priors[p]
+		return f
+	}
+
+	labeled := map[pair.Pair]bool{}
+	var X [][]float64
+	var y []bool
+	ask := func(p pair.Pair) {
+		ans := baselines.AskBool(in.Asker, in.Priors[p], p)
+		labeled[p] = ans
+		X = append(X, features(p))
+		y = append(y, ans)
+	}
+
+	// Bootstrap: probe the extremes and a random sample, like Corleone's
+	// initial training set.
+	sorted := append([]pair.Pair(nil), block...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si := baselines.VectorScore(in.Vectors[sorted[i]], in.Priors[sorted[i]])
+		sj := baselines.VectorScore(in.Vectors[sorted[j]], in.Priors[sorted[j]])
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i].Less(sorted[j])
+	})
+	boot := opts.BatchSize
+	if boot > len(sorted) {
+		boot = len(sorted)
+	}
+	for i := 0; i < boot; i++ {
+		// Alternate the two ends of the similarity axis.
+		if i%2 == 0 {
+			ask(sorted[i/2])
+		} else {
+			ask(sorted[len(sorted)-1-i/2])
+		}
+	}
+
+	var f *forest.Forest
+	train := func() bool {
+		pos, neg := 0, 0
+		for _, v := range y {
+			if v {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos == 0 || neg == 0 {
+			return false
+		}
+		f = forest.Train(X, y, forest.Options{NumTrees: 50, Seed: rng.Int63()})
+		return true
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		if !train() {
+			break
+		}
+		// Most uncertain unlabeled pairs.
+		type unc struct {
+			p pair.Pair
+			u float64
+		}
+		var cands []unc
+		for _, p := range block {
+			if _, ok := labeled[p]; ok {
+				continue
+			}
+			prob := f.Prob(features(p))
+			if d := math.Abs(prob - 0.5); d < opts.StopUncertainty {
+				cands = append(cands, unc{p, d})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].u != cands[j].u {
+				return cands[i].u < cands[j].u
+			}
+			return cands[i].p.Less(cands[j].p)
+		})
+		n := opts.BatchSize
+		if n > len(cands) {
+			n = len(cands)
+		}
+		for i := 0; i < n; i++ {
+			ask(cands[i].p)
+		}
+	}
+
+	// Final classification.
+	if f == nil && !train() {
+		// Single-class labels: accept labeled positives only.
+		for p, v := range labeled {
+			if v {
+				out.Matches.Add(p)
+			}
+		}
+		return
+	}
+	for _, p := range block {
+		if ans, ok := labeled[p]; ok {
+			if ans {
+				out.Matches.Add(p)
+			}
+			continue
+		}
+		if f.Predict(features(p)) {
+			out.Matches.Add(p)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package corleone
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+// learnableInput builds pairs whose two-dimensional vectors separate
+// matches ([hi, hi]) from non-matches, with a noisy boundary band.
+func learnableInput(n int, seed int64) (*baselines.Input, *pair.Gold) {
+	rng := rand.New(rand.NewSource(seed))
+	k1, k2 := kb.New("a"), kb.New("b")
+	var retained, gold []pair.Pair
+	priors := map[pair.Pair]float64{}
+	vectors := map[pair.Pair]simvec.Vector{}
+	for i := 0; i < n; i++ {
+		u1 := k1.AddEntity(fmt.Sprintf("e%d", i))
+		u2 := k2.AddEntity(fmt.Sprintf("f%d", i))
+		p := pair.Pair{U1: u1, U2: u2}
+		retained = append(retained, p)
+		isMatch := i%2 == 0
+		base := 0.2
+		if isMatch {
+			base = 0.7
+			gold = append(gold, p)
+		}
+		priors[p] = base + 0.2*rng.Float64()
+		vectors[p] = simvec.Vector{base + 0.2*rng.Float64(), base + 0.2*rng.Float64()}
+	}
+	return &baselines.Input{
+		K1: k1, K2: k2, Retained: retained, Priors: priors, Vectors: vectors, Seed: seed,
+	}, pair.NewGold(gold)
+}
+
+func accurateAsker(gold *pair.Gold) core.Asker {
+	return crowd.NewPlatform(gold.IsMatch, crowd.Config{
+		NumWorkers: 10, WorkersPerQuestion: 5, ErrorRate: 0.02, Seed: 3,
+	})
+}
+
+func TestCorleoneActiveLearning(t *testing.T) {
+	in, gold := learnableInput(200, 5)
+	in.Asker = accurateAsker(gold)
+	out := Method{}.Run(in)
+	prf := pair.Evaluate(out.Matches, gold)
+	if prf.F1 < 0.85 {
+		t.Errorf("learnable data F1 = %v (P=%v R=%v, Q=%d)",
+			prf.F1, prf.Precision, prf.Recall, out.Questions)
+	}
+	// Active learning labels a fraction, not everything.
+	if out.Questions >= len(in.Retained) {
+		t.Errorf("labeled everything: %d questions", out.Questions)
+	}
+	if out.Questions == 0 {
+		t.Error("asked nothing")
+	}
+}
+
+func TestCorleoneLabeledPairsAreTrusted(t *testing.T) {
+	in, gold := learnableInput(60, 9)
+	in.Asker = accurateAsker(gold)
+	out := Method{}.Run(in)
+	// Every crowd-labeled positive must be in the output (labels override
+	// the forest).
+	prf := pair.Evaluate(out.Matches, gold)
+	if prf.Recall < 0.7 {
+		t.Errorf("recall = %v", prf.Recall)
+	}
+}
+
+func TestCorleoneName(t *testing.T) {
+	if (Method{}).Name() != "Corleone" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,91 @@
+package hike
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+// monotoneInput builds a cleanly separable instance: matches have high
+// vectors, non-matches low ones, in two type partitions.
+func monotoneInput(n int) (*baselines.Input, *pair.Gold) {
+	k1, k2 := kb.New("a"), kb.New("b")
+	var retained, gold []pair.Pair
+	priors := map[pair.Pair]float64{}
+	vectors := map[pair.Pair]simvec.Vector{}
+	for i := 0; i < n; i++ {
+		typ := "person"
+		if i%2 == 0 {
+			typ = "movie"
+		}
+		u1, u2 := k1.AddEntity(fmt.Sprintf("m%d", i)), k2.AddEntity(fmt.Sprintf("m%d", i))
+		k1.SetType(u1, typ)
+		k2.SetType(u2, typ)
+		p := pair.Pair{U1: u1, U2: u2}
+		retained = append(retained, p)
+		gold = append(gold, p)
+		priors[p] = 0.9
+		vectors[p] = simvec.Vector{0.9}
+
+		v1, v2 := k1.AddEntity(fmt.Sprintf("x%d", i)), k2.AddEntity(fmt.Sprintf("y%d", i))
+		k1.SetType(v1, typ)
+		k2.SetType(v2, typ)
+		q := pair.Pair{U1: v1, U2: u2} // junk: shares u2
+		_ = v2
+		retained = append(retained, q)
+		priors[q] = 0.2
+		vectors[q] = simvec.Vector{0.1}
+	}
+	return &baselines.Input{
+		K1: k1, K2: k2, Retained: retained, Priors: priors, Vectors: vectors,
+	}, pair.NewGold(gold)
+}
+
+func oracleAsker(gold *pair.Gold) core.Asker {
+	return crowd.NewPlatform(gold.IsMatch, crowd.Config{
+		NumWorkers: 10, WorkersPerQuestion: 5, ErrorRate: 0.01, Seed: 1,
+	})
+}
+
+func TestHikeSeparableData(t *testing.T) {
+	in, gold := monotoneInput(20)
+	in.Asker = oracleAsker(gold)
+	out := Method{}.Run(in)
+	prf := pair.Evaluate(out.Matches, gold)
+	if prf.F1 < 0.9 {
+		t.Errorf("separable data F1 = %v (P=%v R=%v)", prf.F1, prf.Precision, prf.Recall)
+	}
+	if out.Questions == 0 {
+		t.Error("no questions asked")
+	}
+	// Binary search + verification: far fewer questions than pairs.
+	if out.Questions > len(in.Retained)/2 {
+		t.Errorf("asked %d of %d pairs — binary search not working", out.Questions, len(in.Retained))
+	}
+}
+
+func TestHikePartitionsByType(t *testing.T) {
+	in, gold := monotoneInput(8)
+	in.Asker = oracleAsker(gold)
+	out := Method{}.Run(in)
+	// Both partitions must produce matches.
+	types := map[string]bool{}
+	for m := range out.Matches {
+		types[in.K1.Type(m.U1)] = true
+	}
+	if !types["person"] || !types["movie"] {
+		t.Errorf("partition missing from results: %v", types)
+	}
+}
+
+func TestHikeName(t *testing.T) {
+	if (Method{}).Name() != "HIKE" {
+		t.Error("wrong name")
+	}
+}

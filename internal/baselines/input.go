@@ -1,0 +1,28 @@
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+// FromPrepared builds a baseline Input from a prepared Remp pipeline, so
+// every method consumes the identical retained pairs, priors and vectors
+// (the paper's setup: "all methods take the same retained entity matches
+// Mrd as input").
+func FromPrepared(p *core.Prepared, asker core.Asker, seeds []pair.Pair, seed int64) *Input {
+	vectors := make(map[pair.Pair]simvec.Vector, len(p.Retained))
+	for _, q := range p.Retained {
+		vectors[q] = p.Pruner.VectorOf(q)
+	}
+	return &Input{
+		K1:       p.K1,
+		K2:       p.K2,
+		Retained: append([]pair.Pair(nil), p.Retained...),
+		Priors:   p.Priors,
+		Vectors:  vectors,
+		Asker:    asker,
+		Seeds:    seeds,
+		Seed:     seed,
+	}
+}

@@ -1,0 +1,85 @@
+package paris
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+// starInput builds n author→book stars with full seeds for half of them.
+func starInput(n int) (*baselines.Input, *pair.Gold) {
+	k1, k2 := kb.New("a"), kb.New("b")
+	r1, r2 := k1.AddRel("wrote"), k2.AddRel("wrote")
+	var retained []pair.Pair
+	var gold []pair.Pair
+	priors := map[pair.Pair]float64{}
+	for i := 0; i < n; i++ {
+		a1, a2 := k1.AddEntity(fmt.Sprintf("a%d", i)), k2.AddEntity(fmt.Sprintf("a%d", i))
+		b1, b2 := k1.AddEntity(fmt.Sprintf("b%d", i)), k2.AddEntity(fmt.Sprintf("b%d", i))
+		k1.AddRelTriple(a1, r1, b1)
+		k2.AddRelTriple(a2, r2, b2)
+		ap := pair.Pair{U1: a1, U2: a2}
+		bp := pair.Pair{U1: b1, U2: b2}
+		retained = append(retained, ap, bp)
+		gold = append(gold, ap, bp)
+		priors[ap], priors[bp] = 0.8, 0.8
+	}
+	vectors := map[pair.Pair]simvec.Vector{}
+	for _, p := range retained {
+		vectors[p] = simvec.Vector{priors[p]}
+	}
+	return &baselines.Input{
+		K1: k1, K2: k2, Retained: retained, Priors: priors, Vectors: vectors,
+	}, pair.NewGold(gold)
+}
+
+func TestParisPropagatesFromSeeds(t *testing.T) {
+	in, gold := starInput(10)
+	// Seed every author pair; PARIS must recover the book pairs.
+	for _, m := range gold.Matches() {
+		if in.K1.EntityName(m.U1)[0] == 'a' {
+			in.Seeds = append(in.Seeds, m)
+		}
+	}
+	out := Method{}.Run(in)
+	prf := pair.Evaluate(out.Matches, gold)
+	if prf.Recall < 0.99 {
+		t.Errorf("recall = %v, want ≈ 1 (matches=%d)", prf.Recall, out.Matches.Len())
+	}
+	if prf.Precision < 0.99 {
+		t.Errorf("precision = %v", prf.Precision)
+	}
+}
+
+func TestParisNoSeedsNoMatches(t *testing.T) {
+	in, _ := starInput(5)
+	out := Method{}.Run(in)
+	if out.Matches.Len() != 0 {
+		t.Errorf("PARIS invented %d matches without seeds", out.Matches.Len())
+	}
+}
+
+func TestParisRespectsOneToOne(t *testing.T) {
+	in, gold := starInput(8)
+	in.Seeds = gold.Matches()[:4]
+	out := Method{}.Run(in)
+	seen1 := map[kb.EntityID]bool{}
+	seen2 := map[kb.EntityID]bool{}
+	for m := range out.Matches {
+		if seen1[m.U1] || seen2[m.U2] {
+			t.Fatalf("1:1 violated at %v", m)
+		}
+		seen1[m.U1] = true
+		seen2[m.U2] = true
+	}
+}
+
+func TestParisName(t *testing.T) {
+	if (Method{}).Name() != "PARIS" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,81 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+func gridInput(levels, perLevel int) (*baselines.Input, *pair.Gold) {
+	k1, k2 := kb.New("a"), kb.New("b")
+	var retained, gold []pair.Pair
+	priors := map[pair.Pair]float64{}
+	vectors := map[pair.Pair]simvec.Vector{}
+	id := 0
+	for l := 0; l < levels; l++ {
+		sim := float64(l+1) / float64(levels+1)
+		isMatch := sim > 0.5
+		for j := 0; j < perLevel; j++ {
+			u1 := k1.AddEntity(fmt.Sprintf("e%d", id))
+			u2 := k2.AddEntity(fmt.Sprintf("f%d", id))
+			id++
+			p := pair.Pair{U1: u1, U2: u2}
+			retained = append(retained, p)
+			priors[p] = sim
+			vectors[p] = simvec.Vector{sim}
+			if isMatch {
+				gold = append(gold, p)
+			}
+		}
+	}
+	return &baselines.Input{
+		K1: k1, K2: k2, Retained: retained, Priors: priors, Vectors: vectors,
+	}, pair.NewGold(gold)
+}
+
+func accurateAsker(gold *pair.Gold) core.Asker {
+	return crowd.NewPlatform(gold.IsMatch, crowd.Config{
+		NumWorkers: 10, WorkersPerQuestion: 5, ErrorRate: 0.01, Seed: 1,
+	})
+}
+
+func TestPowerMonotoneBoundary(t *testing.T) {
+	in, gold := gridInput(10, 4)
+	in.Asker = accurateAsker(gold)
+	out := Method{}.Run(in)
+	prf := pair.Evaluate(out.Matches, gold)
+	if prf.F1 < 0.95 {
+		t.Errorf("clean monotone boundary F1 = %v", prf.F1)
+	}
+	// Group-level inference must use far fewer questions than pairs.
+	if out.Questions >= len(in.Retained)/2 {
+		t.Errorf("asked %d questions for %d pairs", out.Questions, len(in.Retained))
+	}
+}
+
+func TestPowerInferenceBothDirections(t *testing.T) {
+	in, gold := gridInput(6, 2)
+	in.Asker = accurateAsker(gold)
+	out := Method{}.Run(in)
+	// Highest-similarity pairs must be matches, lowest non-matches.
+	top := in.Retained[len(in.Retained)-1]
+	bottom := in.Retained[0]
+	if !out.Matches.Has(top) {
+		t.Error("top group not inferred as match")
+	}
+	if out.Matches.Has(bottom) {
+		t.Error("bottom group inferred as match")
+	}
+}
+
+func TestPowerName(t *testing.T) {
+	if (Method{}).Name() != "POWER" {
+		t.Error("wrong name")
+	}
+}

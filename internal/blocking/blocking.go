@@ -1,0 +1,142 @@
+// Package blocking implements candidate entity match generation (§IV-B):
+// entity labels are normalized and tokenized, a token inverted index pairs
+// up entities sharing at least one token, and pairs whose label Jaccard
+// similarity falls below a threshold are pruned. Label similarities double
+// as prior match probabilities Pr[m_p]. The subset of candidates whose
+// normalized labels are exactly equal forms the initial match set Min used
+// for attribute/relationship calibration (§IV-C, §V-A).
+package blocking
+
+import (
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/strsim"
+)
+
+// Candidate is a candidate entity match with its label-similarity prior.
+type Candidate struct {
+	Pair  pair.Pair
+	Prior float64 // label Jaccard similarity, used as Pr[m_p]
+}
+
+// Result holds the outputs of candidate generation.
+type Result struct {
+	// Candidates is Mc, sorted by pair for determinism.
+	Candidates []Candidate
+	// Initial is Min ⊆ Mc: pairs whose normalized labels match exactly.
+	Initial []pair.Pair
+	// Priors maps every candidate pair to its prior probability.
+	Priors map[pair.Pair]float64
+}
+
+// Options configures candidate generation.
+type Options struct {
+	// Threshold is the minimal label Jaccard similarity to keep a pair.
+	// The paper uses 0.3.
+	Threshold float64
+	// MaxTokenPostings caps the posting-list length of a token; tokens more
+	// frequent than this are treated as stop words during pairing (they
+	// still count toward Jaccard). 0 means no cap.
+	MaxTokenPostings int
+}
+
+// DefaultOptions mirrors the paper's setup (threshold 0.3).
+func DefaultOptions() Options {
+	return Options{Threshold: 0.3, MaxTokenPostings: 0}
+}
+
+// Generate produces the candidate match set Mc between k1 and k2.
+func Generate(k1, k2 *kb.KB, opts Options) *Result {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.3
+	}
+
+	tokens1 := tokenizeAll(k1)
+	tokens2 := tokenizeAll(k2)
+
+	// Inverted index over K2 tokens.
+	index := make(map[string][]kb.EntityID)
+	for u2, toks := range tokens2 {
+		for _, t := range toks {
+			index[t] = append(index[t], kb.EntityID(u2))
+		}
+	}
+
+	res := &Result{Priors: make(map[pair.Pair]float64)}
+	seen := make(map[pair.Pair]struct{})
+	for u1, toks1 := range tokens1 {
+		if len(toks1) == 0 {
+			continue
+		}
+		for _, t := range toks1 {
+			postings := index[t]
+			if opts.MaxTokenPostings > 0 && len(postings) > opts.MaxTokenPostings {
+				continue
+			}
+			for _, u2 := range postings {
+				p := pair.Pair{U1: kb.EntityID(u1), U2: u2}
+				if _, ok := seen[p]; ok {
+					continue
+				}
+				seen[p] = struct{}{}
+				sim := strsim.Jaccard(toks1, tokens2[u2])
+				if sim < opts.Threshold {
+					continue
+				}
+				res.Candidates = append(res.Candidates, Candidate{Pair: p, Prior: sim})
+				res.Priors[p] = sim
+				if sim == 1 && exactLabel(k1, k2, p) {
+					res.Initial = append(res.Initial, p)
+				}
+			}
+		}
+	}
+
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		return res.Candidates[i].Pair.Less(res.Candidates[j].Pair)
+	})
+	sort.Slice(res.Initial, func(i, j int) bool {
+		return res.Initial[i].Less(res.Initial[j])
+	})
+	return res
+}
+
+// exactLabel reports whether the two entities have identical normalized
+// labels (the paper's criterion for initial entity matches).
+func exactLabel(k1, k2 *kb.KB, p pair.Pair) bool {
+	l1 := strsim.Normalize(k1.Label(p.U1))
+	l2 := strsim.Normalize(k2.Label(p.U2))
+	return l1 != "" && l1 == l2
+}
+
+func tokenizeAll(k *kb.KB) [][]string {
+	out := make([][]string, k.NumEntities())
+	for u := 0; u < k.NumEntities(); u++ {
+		out[u] = strsim.TokenSet(k.Label(kb.EntityID(u)))
+	}
+	return out
+}
+
+// CandidateSet converts the candidate list into a pair.Set.
+func (r *Result) CandidateSet() pair.Set {
+	s := make(pair.Set, len(r.Candidates))
+	for _, c := range r.Candidates {
+		s.Add(c.Pair)
+	}
+	return s
+}
+
+// CandidatesOf returns the candidates involving entity u1 from K1, in
+// deterministic order. It is a convenience for per-entity blocking
+// analysis.
+func (r *Result) CandidatesOf(u1 kb.EntityID) []Candidate {
+	var out []Candidate
+	for _, c := range r.Candidates {
+		if c.Pair.U1 == u1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

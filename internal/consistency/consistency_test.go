@@ -1,0 +1,139 @@
+package consistency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitFunctionalProperty(t *testing.T) {
+	// A functional property (birth place): every match has exactly one
+	// value on each side and they always correspond ⇒ ε near 1 (clamped to
+	// MaxEps).
+	var obs []Observation
+	for i := 0; i < 50; i++ {
+		obs = append(obs, Observation{N1: 1, N2: 1, KnownL: 1})
+	}
+	e := Fit(obs, DefaultOptions())
+	if e.Eps1 < 0.9 || e.Eps2 < 0.9 {
+		t.Errorf("functional property: ε = (%v, %v), want near max", e.Eps1, e.Eps2)
+	}
+}
+
+func TestFitRecoverySynthetic(t *testing.T) {
+	// Generate observations from the generative model with known ε and
+	// check the estimator recovers it within tolerance.
+	rng := rand.New(rand.NewSource(3))
+	for _, trueEps := range []float64{0.3, 0.6, 0.9} {
+		var obs []Observation
+		for i := 0; i < 400; i++ {
+			n := 1 + rng.Intn(6)
+			l := 0
+			for j := 0; j < n; j++ {
+				if rng.Float64() < trueEps {
+					l++
+				}
+			}
+			// Symmetric sets: both sides size n, l matched.
+			obs = append(obs, Observation{N1: n, N2: n, KnownL: l})
+		}
+		e := FromCounts(obs, DefaultOptions())
+		if math.Abs(e.Eps1-trueEps) > 0.07 {
+			t.Errorf("FromCounts: ε=%v, want ≈%v", e.Eps1, trueEps)
+		}
+		// The latent-variable Fit with KnownL as lower bound should land at
+		// or above the direct estimate (it may explain more pairs as
+		// matched, never fewer).
+		f := Fit(obs, DefaultOptions())
+		if f.Eps1 < e.Eps1-0.05 {
+			t.Errorf("Fit ε=%v below FromCounts ε=%v for true=%v", f.Eps1, e.Eps1, trueEps)
+		}
+	}
+}
+
+func TestFitNoObservations(t *testing.T) {
+	e := Fit(nil, DefaultOptions())
+	if e.Eps1 != 0.5 || e.Eps2 != 0.5 {
+		t.Errorf("no data should give ε=0.5, got (%v,%v)", e.Eps1, e.Eps2)
+	}
+	e = Fit([]Observation{{N1: 0, N2: 0}}, DefaultOptions())
+	if e.Eps1 != 0.5 || e.Eps2 != 0.5 {
+		t.Errorf("empty sets should give ε=0.5, got (%v,%v)", e.Eps1, e.Eps2)
+	}
+}
+
+func TestFitAsymmetricSides(t *testing.T) {
+	// Side 1 has 4 values per entity, side 2 has 1, all side-2 values
+	// matched: ε2 should be much higher than ε1.
+	var obs []Observation
+	for i := 0; i < 60; i++ {
+		obs = append(obs, Observation{N1: 4, N2: 1, KnownL: 1})
+	}
+	e := FromCounts(obs, DefaultOptions())
+	if e.Eps2 <= e.Eps1 {
+		t.Errorf("ε2 (%v) should exceed ε1 (%v)", e.Eps2, e.Eps1)
+	}
+	if e.Eps1 > 0.35 {
+		t.Errorf("ε1 = %v, want ≈ 0.25", e.Eps1)
+	}
+}
+
+func TestEstimatesClamped(t *testing.T) {
+	opts := DefaultOptions()
+	var obs []Observation
+	for i := 0; i < 100; i++ {
+		obs = append(obs, Observation{N1: 3, N2: 3, KnownL: 0})
+	}
+	e := Fit(obs, opts)
+	if e.Eps1 < opts.MinEps || e.Eps1 > opts.MaxEps || e.Eps2 < opts.MinEps || e.Eps2 > opts.MaxEps {
+		t.Errorf("estimates out of clamp range: %+v", e)
+	}
+}
+
+func TestBestLRespectsKnownL(t *testing.T) {
+	o := Observation{N1: 5, N2: 5, KnownL: 3}
+	// Strongly negative odds push L down, but the floor holds.
+	if got := bestL(o, -10); got < 3 {
+		t.Errorf("bestL = %d, want ≥ 3", got)
+	}
+	// Strongly positive odds push to the max.
+	if got := bestL(o, 10); got != 5 {
+		t.Errorf("bestL = %d, want 5", got)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if v := logChoose(5, 2); math.Abs(v-math.Log(10)) > 1e-9 {
+		t.Errorf("logChoose(5,2) = %v, want log 10", v)
+	}
+	if v := logChoose(3, 5); !math.IsInf(v, -1) {
+		t.Errorf("logChoose(3,5) = %v, want -Inf", v)
+	}
+	if v := logChoose(4, 0); v != 0 {
+		t.Errorf("logChoose(4,0) = %v, want 0", v)
+	}
+}
+
+func TestLikelihoodImprovesOverIterations(t *testing.T) {
+	// Fit's result must have likelihood at least as good as a single
+	// iteration from the same starts.
+	rng := rand.New(rand.NewSource(9))
+	var obs []Observation
+	for i := 0; i < 100; i++ {
+		n1, n2 := 1+rng.Intn(4), 1+rng.Intn(4)
+		l := rng.Intn(min(n1, n2) + 1)
+		obs = append(obs, Observation{N1: n1, N2: n2, KnownL: l})
+	}
+	e := Fit(obs, DefaultOptions())
+	direct := FromCounts(obs, DefaultOptions())
+	if e.LogLikelihood < direct.LogLikelihood-1e-6 {
+		t.Errorf("Fit LL %v worse than FromCounts LL %v", e.LogLikelihood, direct.LogLikelihood)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

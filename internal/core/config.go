@@ -1,0 +1,137 @@
+// Package core orchestrates the full Remp pipeline (§III-B): ER graph
+// construction (blocking, attribute matching, partial-order pruning),
+// relational match propagation, multiple questions selection and
+// error-tolerant truth inference, iterated in human–machine loops until no
+// unresolved pair can be inferred, with a random-forest fallback for
+// isolated pairs.
+package core
+
+import (
+	"repro/internal/crowd"
+	"repro/internal/pair"
+	"repro/internal/selection"
+)
+
+// Config carries every tunable of the pipeline. The zero value is replaced
+// by the paper's uniform settings: k = 4, τ = 0.9, µ = 10, label-similarity
+// threshold 0.3, simL literal threshold 0.9, ψ = 0.9.
+type Config struct {
+	// K is the k-nearest-neighbor bound of partial-order pruning.
+	K int
+	// Tau is the precision threshold τ for inferred matches.
+	Tau float64
+	// Mu is the number of questions per human-machine loop.
+	Mu int
+	// LabelSimThreshold prunes candidate pairs below this label Jaccard.
+	LabelSimThreshold float64
+	// LiteralThreshold is simL's internal literal threshold.
+	LiteralThreshold float64
+	// Psi is the attribute-set Jaccard threshold ψ of the isolated-pair
+	// classifier neighborhood.
+	Psi float64
+	// Budget caps the number of questions; 0 means unlimited.
+	Budget int
+	// MaxLoops caps human-machine loops; 0 means unlimited.
+	MaxLoops int
+	// Thresholds are the truth-inference accept/reject posteriors.
+	Thresholds crowd.Thresholds
+	// Strategy selects questions; nil means the paper's greedy benefit
+	// maximization (Algorithm 3).
+	Strategy selection.Strategy
+	// ClassifyIsolated enables the random-forest fallback of §VII-B.
+	ClassifyIsolated bool
+	// Reestimate re-fits relationship consistency and edge probabilities
+	// after each loop using the newly confirmed matches (§VII-A).
+	Reestimate bool
+	// Seed drives the forest's randomness.
+	Seed int64
+	// Progress, when non-nil, is invoked after every answered question
+	// with the running question count and the current match set (used to
+	// trace F1-versus-#questions curves, Figure 5).
+	Progress func(questions int, matches pair.Set)
+	// ExhaustBudget keeps the loop polling unresolved pairs by strategy
+	// order even after relational propagation is exhausted, until Budget
+	// is spent. The paper's Figure 5 runs every selection strategy to the
+	// same question budget; Remp's normal stop criterion is restored when
+	// this is false (the default).
+	ExhaustBudget bool
+	// Hybrid enables the paper's future-work extension (§IX): partial-
+	// order inference is combined with relational propagation, so each
+	// loop's labels additionally resolve unresolved pairs by vector
+	// dominance — a pair dominating a confirmed match becomes a match, a
+	// pair dominated by a confirmed non-match becomes a non-match.
+	Hybrid bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		K:                 4,
+		Tau:               0.9,
+		Mu:                10,
+		LabelSimThreshold: 0.3,
+		LiteralThreshold:  0.9,
+		Psi:               0.9,
+		Thresholds:        crowd.DefaultThresholds(),
+		Strategy:          selection.Greedy{},
+		ClassifyIsolated:  true,
+		Reestimate:        true,
+		Seed:              1,
+	}
+}
+
+func (c *Config) fill() {
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Tau <= 0 || c.Tau > 1 {
+		c.Tau = 0.9
+	}
+	if c.Mu <= 0 {
+		c.Mu = 10
+	}
+	if c.LabelSimThreshold <= 0 {
+		c.LabelSimThreshold = 0.3
+	}
+	if c.LiteralThreshold <= 0 {
+		c.LiteralThreshold = 0.9
+	}
+	if c.Psi <= 0 {
+		c.Psi = 0.9
+	}
+	if c.Thresholds.Accept == 0 && c.Thresholds.Reject == 0 {
+		c.Thresholds = crowd.DefaultThresholds()
+	}
+	if c.Strategy == nil {
+		c.Strategy = selection.Greedy{}
+	}
+}
+
+// Asker abstracts the crowdsourcing platform; *crowd.Platform implements
+// it, as does the ground-truth oracle used in Figure 5 / Table VII.
+type Asker interface {
+	Ask(q pair.Pair) []crowd.Label
+	NumQuestions() int
+}
+
+// OracleAsker answers every question correctly with a single perfect
+// worker — the "ground truth as labels" configuration of the internal
+// experiments.
+type OracleAsker struct {
+	Oracle crowd.Oracle
+	asked  map[pair.Pair]bool
+}
+
+// NewOracleAsker wraps a gold-standard oracle.
+func NewOracleAsker(oracle crowd.Oracle) *OracleAsker {
+	return &OracleAsker{Oracle: oracle, asked: map[pair.Pair]bool{}}
+}
+
+// Ask implements Asker.
+func (o *OracleAsker) Ask(q pair.Pair) []crowd.Label {
+	o.asked[q] = true
+	return []crowd.Label{{Worker: crowd.Worker{ID: 0, Quality: 0.999}, IsMatch: o.Oracle(q)}}
+}
+
+// NumQuestions implements Asker.
+func (o *OracleAsker) NumQuestions() int { return len(o.asked) }

@@ -1,0 +1,56 @@
+package core
+
+import "repro/internal/pair"
+
+// monotoneInference implements the hybrid extension the paper sketches as
+// future work (§IX): partial-order inference is layered on top of
+// relational propagation. Worker-confirmed labels generalize along the
+// similarity-vector dominance order — an unresolved pair whose vector
+// dominates some confirmed match is itself a match; one dominated by a
+// confirmed non-match is a non-match. Inference stays within an entity's
+// competitor blocks (the same locality restriction that keeps the partial
+// order's error rate near-perfect in Table V), and newly inferred matches
+// respect the 1:1 constraint.
+func (p *Prepared) monotoneInference(res *Result) {
+	if res.Confirmed.Len() == 0 && res.NonMatches.Len() == 0 {
+		return
+	}
+	verts := p.Graph.Vertices()
+	for _, v := range verts {
+		if res.Matches.Has(v) || res.NonMatches.Has(v) {
+			continue
+		}
+		vec := p.Pruner.VectorOf(v)
+		// Blocks: pairs sharing either entity with v.
+		for _, side := range [][]int{p.byEntity1[v.U1], p.byEntity2[v.U2]} {
+			for _, i := range side {
+				w := verts[i]
+				if w == v {
+					continue
+				}
+				wv := p.Pruner.VectorOf(w)
+				switch {
+				case res.Confirmed.Has(w) && vec.StrictlyDominates(wv):
+					p.acceptMonotone(v, res)
+				case res.NonMatches.Has(w) && wv.StrictlyDominates(vec):
+					res.NonMatches.Add(v)
+					p.detachVertex(v)
+				}
+				if res.Matches.Has(v) || res.NonMatches.Has(v) {
+					break
+				}
+			}
+			if res.Matches.Has(v) || res.NonMatches.Has(v) {
+				break
+			}
+		}
+	}
+}
+
+// acceptMonotone records a monotone-inferred match under the 1:1
+// constraint; its provenance counts as propagation for reporting.
+func (p *Prepared) acceptMonotone(v pair.Pair, res *Result) {
+	res.Propagated.Add(v)
+	res.Matches.Add(v)
+	p.resolveCompetitors(v, res)
+}

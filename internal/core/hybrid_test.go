@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pair"
+)
+
+func TestHybridReducesQuestionsOrKeepsF1(t *testing.T) {
+	k1, k2, gold := movieWorld(6, 41)
+
+	run := func(hybrid bool) (*Result, pair.PRF) {
+		cfg := DefaultConfig()
+		cfg.Hybrid = hybrid
+		cfg.Mu = 5
+		p := Prepare(k1, k2, cfg)
+		res := p.Run(NewOracleAsker(gold.IsMatch))
+		return res, pair.Evaluate(res.Matches, gold)
+	}
+	base, basePRF := run(false)
+	hyb, hybPRF := run(true)
+	t.Logf("plain: F1=%.3f Q=%d | hybrid: F1=%.3f Q=%d",
+		basePRF.F1, base.Questions, hybPRF.F1, hyb.Questions)
+
+	// The hybrid must not be strictly worse on both axes.
+	if hybPRF.F1 < basePRF.F1-0.05 && hyb.Questions >= base.Questions {
+		t.Errorf("hybrid is dominated: F1 %v vs %v, Q %d vs %d",
+			hybPRF.F1, basePRF.F1, hyb.Questions, base.Questions)
+	}
+	if hybPRF.F1 < 0.75 {
+		t.Errorf("hybrid F1 = %v, unreasonably low", hybPRF.F1)
+	}
+}
+
+func TestMonotoneInferenceDirections(t *testing.T) {
+	k1, k2, gold := movieWorld(4, 43)
+	cfg := DefaultConfig()
+	cfg.Hybrid = true
+	p := Prepare(k1, k2, cfg)
+	res := p.Run(NewOracleAsker(gold.IsMatch))
+
+	// Every monotone-inferred (propagated) match must respect 1:1.
+	seen1 := map[int32]bool{}
+	for m := range res.Matches {
+		if seen1[int32(m.U1)] {
+			t.Fatalf("1:1 violated on %v", m)
+		}
+		seen1[int32(m.U1)] = true
+	}
+	// Inference must never mark a pair both match and non-match.
+	for m := range res.Matches {
+		if res.NonMatches.Has(m) {
+			t.Fatalf("%v is both match and non-match", m)
+		}
+	}
+	if prf := pair.Evaluate(res.Matches, gold); prf.Precision < 0.9 {
+		t.Errorf("hybrid precision = %v", prf.Precision)
+	}
+}

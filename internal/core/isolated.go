@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/forest"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/strsim"
+)
+
+// classifyIsolated implements §VII-B: isolated entity pairs (no incident
+// ER-graph edges) cannot be reached by propagation, so instead of polling
+// workers one pair at a time, a random forest is trained per
+// attribute-signature neighborhood on the labels gathered so far. For an
+// isolated pair p, the neighborhood N_p contains the retained pairs whose
+// shared-attribute sets have Jaccard ≥ ψ with p's; resolved matches in N_p
+// are positives and — because propagation only ever confirms matches —
+// unresolved pairs in N_p are treated as negatives to balance the classes.
+func (p *Prepared) classifyIsolated(res *Result) {
+	isolated := p.Graph.Isolated()
+	if len(isolated) == 0 {
+		return
+	}
+
+	// Precompute shared-attribute signatures for all retained pairs.
+	sig := make(map[pair.Pair][]int, len(p.Retained))
+	for _, q := range p.Retained {
+		sig[q] = p.Builder.SharedAttrMatches(q)
+	}
+
+	type modelKey string
+	models := map[modelKey]*forest.Forest{}
+	var global *forest.Forest
+	globalBuilt := false
+
+	// Respect the 1:1 constraint among classifier predictions: process
+	// isolated pairs in descending forest confidence per entity.
+	type prediction struct {
+		p    pair.Pair
+		prob float64
+	}
+	var preds []prediction
+
+	for _, iso := range isolated {
+		if res.Matches.Has(iso) || res.NonMatches.Has(iso) {
+			continue
+		}
+		key := modelKey(fmt.Sprint(sig[iso]))
+		model, ok := models[key]
+		if !ok {
+			model = p.trainNeighborhoodForest(res, sig, sig[iso])
+			models[key] = model
+		}
+		if model == nil {
+			// Too little same-signature training data (e.g. a type whose
+			// matches are all isolated): fall back to a single forest
+			// trained on every resolved pair. This keeps recall on
+			// datasets like D-Y where whole types are disconnected; see
+			// DESIGN.md §4.
+			if !globalBuilt {
+				global = p.trainNeighborhoodForest(res, sig, nil)
+				globalBuilt = true
+			}
+			model = global
+		}
+		if model == nil {
+			continue
+		}
+		if prob := model.Prob(p.isolatedFeatures(iso)); prob >= 0.5 {
+			preds = append(preds, prediction{p: iso, prob: prob})
+		}
+	}
+
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].prob != preds[j].prob {
+			return preds[i].prob > preds[j].prob
+		}
+		return preds[i].p.Less(preds[j].p)
+	})
+	used1 := map[kb.EntityID]bool{}
+	used2 := map[kb.EntityID]bool{}
+	for _, pr := range preds {
+		if used1[pr.p.U1] || used2[pr.p.U2] {
+			continue
+		}
+		used1[pr.p.U1] = true
+		used2[pr.p.U2] = true
+		res.IsolatedPredicted.Add(pr.p)
+		res.Matches.Add(pr.p)
+	}
+}
+
+// trainNeighborhoodForest builds the training set N_p for one attribute
+// signature and fits a forest; it returns nil when either class is too
+// thin. A nil target disables the ψ filter (the global fallback model).
+// Negatives are subsampled to class parity: the paper uses unresolved
+// pairs as non-matches explicitly "to balance the proportions of
+// different labels" (§VII-B).
+func (p *Prepared) trainNeighborhoodForest(res *Result, sig map[pair.Pair][]int, target []int) *forest.Forest {
+	var posX, negX [][]float64
+	for _, q := range p.Retained {
+		if target != nil && jaccardInts(sig[q], target) < p.Cfg.Psi {
+			continue
+		}
+		switch {
+		case res.Matches.Has(q):
+			posX = append(posX, p.isolatedFeatures(q))
+		case res.NonMatches.Has(q):
+			negX = append(negX, p.isolatedFeatures(q))
+		default:
+			// Unresolved pairs act as negatives — but only the
+			// non-isolated ones, which propagation had a chance to
+			// confirm.
+			if len(p.Graph.Out(q)) > 0 || len(p.Graph.In(q)) > 0 {
+				negX = append(negX, p.isolatedFeatures(q))
+			}
+		}
+	}
+	// A usable neighborhood model needs a handful of examples on each
+	// side; thinner ones defer to the global fallback.
+	if len(posX) < 5 || len(negX) < 5 {
+		return nil
+	}
+	// Deterministic subsampling of the majority class to parity.
+	if len(negX) > len(posX) {
+		step := float64(len(negX)) / float64(len(posX))
+		sampled := make([][]float64, 0, len(posX))
+		for i := 0; i < len(posX); i++ {
+			sampled = append(sampled, negX[int(float64(i)*step)])
+		}
+		negX = sampled
+	} else if len(posX) > len(negX) {
+		step := float64(len(posX)) / float64(len(negX))
+		sampled := make([][]float64, 0, len(negX))
+		for i := 0; i < len(negX); i++ {
+			sampled = append(sampled, posX[int(float64(i)*step)])
+		}
+		posX = sampled
+	}
+	X := append(append([][]float64{}, posX...), negX...)
+	y := make([]bool, len(X))
+	for i := range posX {
+		y[i] = true
+	}
+	return forest.Train(X, y, forest.Options{NumTrees: 100, Seed: p.Cfg.Seed})
+}
+
+// isolatedFeatures is the classifier's feature vector for a pair: the
+// similarity vector over attribute matches plus the label-similarity
+// prior (the same Pr[m_p] the rest of the pipeline consumes), which adds a
+// continuous signal where the simL components saturate to 0/1.
+func (p *Prepared) isolatedFeatures(q pair.Pair) []float64 {
+	vec := p.Pruner.VectorOf(q)
+	out := make([]float64, len(vec)+1)
+	copy(out, vec)
+	out[len(vec)] = p.Priors[q]
+	return out
+}
+
+// jaccardInts is the Jaccard coefficient over two integer sets (attribute
+// match indexes); both empty counts as similarity 1 per the ψ-neighborhood
+// definition (identical signatures).
+func jaccardInts(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	as := make([]string, len(a))
+	for i, x := range a {
+		as[i] = fmt.Sprint(x)
+	}
+	bs := make([]string, len(b))
+	for i, x := range b {
+		bs[i] = fmt.Sprint(x)
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	return strsim.Jaccard(as, bs)
+}

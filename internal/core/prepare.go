@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/attrmatch"
+	"repro/internal/blocking"
+	"repro/internal/consistency"
+	"repro/internal/ergraph"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/propagation"
+	"repro/internal/simvec"
+)
+
+// Prepared holds every artifact of stage 1 (ER graph construction) plus
+// the fitted consistency model and probabilistic ER graph, ready for the
+// human–machine loop. All fields are read-only after Prepare.
+type Prepared struct {
+	K1, K2 *kb.KB
+	Cfg    Config
+
+	Blocking    *blocking.Result
+	AttrMatches []attrmatch.Match
+	Builder     *simvec.Builder
+	Pruner      *simvec.Pruner
+	Retained    []pair.Pair
+	Graph       *ergraph.Graph
+	Consistency map[ergraph.RelPair]consistency.Estimate
+	Prob        *propagation.ProbGraph
+	Priors      map[pair.Pair]float64
+
+	// byEntity1/byEntity2 index graph vertices by their K1/K2 entity, used
+	// to resolve same-entity competitors when a match is confirmed (the
+	// 1:1 entity constraint that keeps non-match chains from being polled).
+	byEntity1 map[kb.EntityID][]int
+	byEntity2 map[kb.EntityID][]int
+}
+
+// Prepare runs ER graph construction end to end: candidate generation,
+// attribute matching over initial matches, similarity-vector assembly,
+// partial-order pruning (Algorithm 1), ER graph construction, relationship
+// consistency fitting and neighbor propagation (the probabilistic graph).
+func Prepare(k1, k2 *kb.KB, cfg Config) *Prepared {
+	cfg.fill()
+	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
+
+	p.Blocking = blocking.Generate(k1, k2, blocking.Options{Threshold: cfg.LabelSimThreshold})
+
+	amOpts := attrmatch.DefaultOptions()
+	amOpts.LiteralThreshold = cfg.LiteralThreshold
+	p.AttrMatches = attrmatch.FindMatches(k1, k2, p.Blocking.Initial, amOpts)
+
+	p.Builder = simvec.NewBuilder(k1, k2, p.AttrMatches, cfg.LiteralThreshold)
+	cands := make([]pair.Pair, len(p.Blocking.Candidates))
+	for i, c := range p.Blocking.Candidates {
+		cands[i] = c.Pair
+	}
+	p.Pruner = simvec.NewPruner(cands, p.Builder.All(cands))
+	p.Retained = p.Pruner.Prune(cands, cfg.K)
+
+	p.Graph = ergraph.Build(k1, k2, p.Retained)
+	p.Priors = make(map[pair.Pair]float64, len(p.Retained))
+	for _, q := range p.Retained {
+		p.Priors[q] = p.Blocking.Priors[q]
+	}
+
+	p.byEntity1 = make(map[kb.EntityID][]int)
+	p.byEntity2 = make(map[kb.EntityID][]int)
+	for i, v := range p.Graph.Vertices() {
+		p.byEntity1[v.U1] = append(p.byEntity1[v.U1], i)
+		p.byEntity2[v.U2] = append(p.byEntity2[v.U2], i)
+	}
+
+	p.Consistency = p.fitConsistency(p.Blocking.Initial)
+	p.Prob = propagation.BuildProb(p.Graph, k1, k2, propagation.Params{
+		Priors:      p.Priors,
+		Consistency: p.Consistency,
+	})
+	return p
+}
+
+// PrepareOnRetained builds a pipeline over an explicit retained pair set,
+// reusing a previously computed blocking result. It is used by the
+// Figure 6 scalability sweep, which measures Algorithms 2–3 on fractions
+// of Mrd.
+func PrepareOnRetained(k1, k2 *kb.KB, cfg Config, retained []pair.Pair, blk *blocking.Result) *Prepared {
+	cfg.fill()
+	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
+	p.Blocking = blk
+
+	amOpts := attrmatch.DefaultOptions()
+	amOpts.LiteralThreshold = cfg.LiteralThreshold
+	p.AttrMatches = attrmatch.FindMatches(k1, k2, blk.Initial, amOpts)
+	p.Builder = simvec.NewBuilder(k1, k2, p.AttrMatches, cfg.LiteralThreshold)
+	p.Retained = append([]pair.Pair(nil), retained...)
+	p.Pruner = simvec.NewPruner(p.Retained, p.Builder.All(p.Retained))
+
+	p.Graph = ergraph.Build(k1, k2, p.Retained)
+	p.Priors = make(map[pair.Pair]float64, len(p.Retained))
+	for _, q := range p.Retained {
+		p.Priors[q] = blk.Priors[q]
+	}
+	p.byEntity1 = make(map[kb.EntityID][]int)
+	p.byEntity2 = make(map[kb.EntityID][]int)
+	for i, v := range p.Graph.Vertices() {
+		p.byEntity1[v.U1] = append(p.byEntity1[v.U1], i)
+		p.byEntity2[v.U2] = append(p.byEntity2[v.U2], i)
+	}
+	p.Consistency = p.fitConsistency(blk.Initial)
+	p.Prob = propagation.BuildProb(p.Graph, k1, k2, propagation.Params{
+		Priors:      p.Priors,
+		Consistency: p.Consistency,
+	})
+	return p
+}
+
+// fitConsistency estimates (ε1, ε2) for every edge label from the value
+// distribution over the given matches (§V-A). KnownL counts, per match,
+// the values whose counterpart is itself in the match set — the observed
+// lower bound for the latent variable.
+func (p *Prepared) fitConsistency(seeds []pair.Pair) map[ergraph.RelPair]consistency.Estimate {
+	seedSet := pair.NewSet(seeds...)
+	out := make(map[ergraph.RelPair]consistency.Estimate)
+	for _, label := range p.Graph.Labels() {
+		obs := p.consistencyObservations(label, seeds, seedSet)
+		out[label] = consistency.Fit(obs, consistency.DefaultOptions())
+	}
+	return out
+}
+
+// consistencyObservations gathers (|N1|, |N2|, knownL) triples for one
+// edge label over the seed matches, following the label's direction.
+func (p *Prepared) consistencyObservations(label ergraph.RelPair, seeds []pair.Pair, seedSet pair.Set) []consistency.Observation {
+	var obs []consistency.Observation
+	for _, m := range seeds {
+		var n1, n2 []kb.EntityID
+		if label.Inverse {
+			n1 = p.K1.In(m.U1, label.R1)
+			n2 = p.K2.In(m.U2, label.R2)
+		} else {
+			n1 = p.K1.Out(m.U1, label.R1)
+			n2 = p.K2.Out(m.U2, label.R2)
+		}
+		if len(n1) == 0 && len(n2) == 0 {
+			continue
+		}
+		known := 0
+		for _, v1 := range n1 {
+			for _, v2 := range n2 {
+				if seedSet.Has(pair.Pair{U1: v1, U2: v2}) {
+					known++
+					break
+				}
+			}
+		}
+		obs = append(obs, consistency.Observation{N1: len(n1), N2: len(n2), KnownL: known})
+	}
+	return obs
+}
+
+// Unresolved returns the graph vertices not yet resolved by the given
+// match / non-match sets, in deterministic order.
+func (p *Prepared) Unresolved(matches, nonMatches pair.Set) []pair.Pair {
+	var out []pair.Pair
+	for _, v := range p.Graph.Vertices() {
+		if !matches.Has(v) && !nonMatches.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/crowd"
+	"repro/internal/ergraph"
+	"repro/internal/pair"
+	"repro/internal/propagation"
+	"repro/internal/selection"
+)
+
+// Result is the outcome of a full Remp run.
+type Result struct {
+	// Matches is the final match set: worker-confirmed, propagated, and
+	// (when enabled) classifier-predicted isolated matches.
+	Matches pair.Set
+	// Confirmed are matches labeled directly by workers.
+	Confirmed pair.Set
+	// Propagated are matches inferred through the ER graph.
+	Propagated pair.Set
+	// IsolatedPredicted are matches predicted by the random forest.
+	IsolatedPredicted pair.Set
+	// NonMatches are pairs resolved negative by workers.
+	NonMatches pair.Set
+	// Questions is the number of distinct questions asked.
+	Questions int
+	// Loops is the number of human-machine loops executed.
+	Loops int
+}
+
+// Run executes the human–machine loop against the Asker and returns the
+// final result. It terminates when no unresolved pair can be inferred by
+// relational match propagation (the paper's stop criterion), when the
+// question budget is exhausted, or when MaxLoops is reached.
+func (p *Prepared) Run(asker Asker) *Result {
+	cfg := p.Cfg
+	res := &Result{
+		Matches:           pair.Set{},
+		Confirmed:         pair.Set{},
+		Propagated:        pair.Set{},
+		IsolatedPredicted: pair.Set{},
+		NonMatches:        pair.Set{},
+	}
+	priors := make(map[pair.Pair]float64, len(p.Priors))
+	for k, v := range p.Priors {
+		priors[k] = v
+	}
+	// hard tracks questions already asked whose labels stayed inconsistent;
+	// since the platform reuses labels, re-asking cannot make progress, so
+	// they are withheld from later selection (their damped prior already
+	// reflects §VII-A).
+	hard := pair.Set{}
+
+	inferred := p.Prob.InferAll(cfg.Tau)
+	edgesDirty := false
+
+	for {
+		if cfg.MaxLoops > 0 && res.Loops >= cfg.MaxLoops {
+			break
+		}
+		if edgesDirty {
+			inferred = p.Prob.InferAll(cfg.Tau)
+			edgesDirty = false
+		}
+		cands, anyPropagation := p.questionCandidates(res, priors, inferred, hard)
+		if len(cands) == 0 || (!anyPropagation && !cfg.ExhaustBudget) {
+			break
+		}
+		mu := cfg.Mu
+		if cfg.Budget > 0 && res.Questions+mu > cfg.Budget {
+			mu = cfg.Budget - res.Questions
+			if mu <= 0 {
+				break
+			}
+		}
+		chosen := cfg.Strategy.Select(cands, mu)
+		if len(chosen) < mu {
+			// Remp always issues µ questions per human-machine loop
+			// (§VIII, Table VII): pad the batch with the highest-prior
+			// unchosen candidates once marginal benefits hit zero.
+			chosen = padBatch(cands, chosen, mu)
+		}
+		if len(chosen) == 0 {
+			break
+		}
+		res.Loops++
+		for _, ci := range chosen {
+			q := cands[ci].Pair
+			labels := asker.Ask(q)
+			res.Questions = asker.NumQuestions()
+			inf := crowd.Infer(priors[q], labels, cfg.Thresholds)
+			switch inf.Verdict {
+			case crowd.IsMatch:
+				p.confirmMatch(q, res, inferred)
+				edgesDirty = true
+			case crowd.IsNonMatch:
+				res.NonMatches.Add(q)
+				p.detachVertex(q)
+				edgesDirty = true
+			default:
+				// Hard question: damp its prior so its benefit shrinks.
+				priors[q] = inf.Posterior
+				hard.Add(q)
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(res.Questions, res.Matches)
+			}
+			if cfg.Budget > 0 && res.Questions >= cfg.Budget {
+				break
+			}
+		}
+		if cfg.Hybrid {
+			p.monotoneInference(res)
+		}
+		if cfg.Reestimate && res.Confirmed.Len() > 0 {
+			p.reestimate(res)
+			edgesDirty = true
+		}
+		if cfg.Budget > 0 && res.Questions >= cfg.Budget {
+			break
+		}
+	}
+
+	if cfg.ClassifyIsolated {
+		p.classifyIsolated(res)
+	}
+	return res
+}
+
+// padBatch extends a selection to mu questions with the highest-prior
+// candidates not yet chosen.
+func padBatch(cands []selection.Candidate, chosen []int, mu int) []int {
+	taken := make(map[int]bool, len(chosen))
+	for _, i := range chosen {
+		taken[i] = true
+	}
+	rest := make([]int, 0, len(cands))
+	for i := range cands {
+		if !taken[i] {
+			rest = append(rest, i)
+		}
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		if cands[rest[a]].Prob != cands[rest[b]].Prob {
+			return cands[rest[a]].Prob > cands[rest[b]].Prob
+		}
+		return cands[rest[a]].Pair.Less(cands[rest[b]].Pair)
+	})
+	for _, i := range rest {
+		if len(chosen) >= mu {
+			break
+		}
+		chosen = append(chosen, i)
+	}
+	return chosen
+}
+
+// questionCandidates assembles the candidate question list over the
+// unresolved vertices. anyPropagation reports whether some question can
+// still infer a pair other than itself — the loop's stop signal.
+func (p *Prepared) questionCandidates(res *Result, priors map[pair.Pair]float64, inferred *propagation.Inferred, hard pair.Set) ([]selection.Candidate, bool) {
+	resolved := func(q pair.Pair) bool {
+		return res.Matches.Has(q) || res.NonMatches.Has(q)
+	}
+	var cands []selection.Candidate
+	anyPropagation := false
+	verts := p.Graph.Vertices()
+	for i, v := range verts {
+		if resolved(v) || hard.Has(v) {
+			continue
+		}
+		inf := []int{i} // a match label always resolves the question itself
+		for j := range inferred.SetIndexes(i) {
+			if !resolved(verts[j]) {
+				inf = append(inf, j)
+			}
+		}
+		if len(inf) > 1 {
+			anyPropagation = true
+		}
+		cands = append(cands, selection.Candidate{Pair: v, Prob: priors[v], Inferred: inf})
+	}
+	return cands, anyPropagation
+}
+
+// confirmMatch records a worker-confirmed match and propagates it: every
+// unresolved pair with Pr[m_p | m_q] ≥ τ becomes an inferred match,
+// processed in decreasing probability so that the 1:1 entity constraint
+// lets the most probable pair of an entity win. Competitor vertices
+// sharing an entity with a new match are resolved as non-matches and
+// detached (the "re-estimate edges with new matches and non-matches" step
+// of §VII-A).
+func (p *Prepared) confirmMatch(q pair.Pair, res *Result, inferred *propagation.Inferred) {
+	res.Confirmed.Add(q)
+	res.Matches.Add(q)
+	p.resolveCompetitors(q, res)
+	qi := p.Graph.IndexOf(q)
+	if qi < 0 {
+		return
+	}
+	verts := p.Graph.Vertices()
+	set := inferred.SetIndexes(qi)
+	order := make([]int, 0, len(set))
+	for j := range set {
+		order = append(order, j)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if set[order[a]] != set[order[b]] {
+			return set[order[a]] < set[order[b]] // smaller distance first
+		}
+		return verts[order[a]].Less(verts[order[b]])
+	})
+	for _, j := range order {
+		pj := verts[j]
+		if res.Matches.Has(pj) || res.NonMatches.Has(pj) {
+			continue
+		}
+		res.Propagated.Add(pj)
+		res.Matches.Add(pj)
+		p.resolveCompetitors(pj, res)
+	}
+}
+
+// resolveCompetitors marks every unresolved vertex sharing an entity with
+// the match m as a non-match and detaches it from the propagation fabric.
+func (p *Prepared) resolveCompetitors(m pair.Pair, res *Result) {
+	verts := p.Graph.Vertices()
+	for _, side := range [][]int{p.byEntity1[m.U1], p.byEntity2[m.U2]} {
+		for _, i := range side {
+			v := verts[i]
+			if v == m || res.Matches.Has(v) || res.NonMatches.Has(v) {
+				continue
+			}
+			res.NonMatches.Add(v)
+			p.detachVertex(v)
+		}
+	}
+}
+
+// detachVertex removes a resolved non-match from the propagation fabric:
+// it can neither be inferred nor relay inference.
+func (p *Prepared) detachVertex(q pair.Pair) {
+	for _, e := range p.Graph.Out(q) {
+		p.Prob.SetProb(q, e.To, 0)
+	}
+	for _, e := range p.Graph.In(q) {
+		p.Prob.SetProb(e.From, q, 0)
+	}
+}
+
+// reestimate re-fits consistency from the enlarged seed set (initial
+// matches plus confirmed and propagated matches) and rebuilds the edge
+// probabilities, keeping detached vertices detached (§VII-A).
+func (p *Prepared) reestimate(res *Result) {
+	seeds := make([]pair.Pair, 0, len(p.Blocking.Initial)+res.Matches.Len())
+	seen := pair.Set{}
+	for _, m := range p.Blocking.Initial {
+		if !seen.Has(m) {
+			seen.Add(m)
+			seeds = append(seeds, m)
+		}
+	}
+	for _, m := range res.Matches.Sorted() {
+		if !seen.Has(m) {
+			seen.Add(m)
+			seeds = append(seeds, m)
+		}
+	}
+	p.Consistency = p.fitConsistency(seeds)
+	p.Prob = propagation.BuildProb(p.Graph, p.K1, p.K2, propagation.Params{
+		Priors:      p.Priors,
+		Consistency: p.Consistency,
+	})
+	for q := range res.NonMatches {
+		p.detachVertex(q)
+	}
+}
+
+// Labels of the probabilistic graph are re-exported for diagnostics.
+func (p *Prepared) GraphLabels() []ergraph.RelPair { return p.Graph.Labels() }

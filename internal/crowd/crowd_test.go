@@ -1,0 +1,164 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+func goodWorker(id int) Worker { return Worker{ID: id, Quality: 0.95} }
+
+func TestInferUnanimousMatch(t *testing.T) {
+	labels := []Label{
+		{Worker: goodWorker(0), IsMatch: true},
+		{Worker: goodWorker(1), IsMatch: true},
+		{Worker: goodWorker(2), IsMatch: true},
+	}
+	inf := Infer(0.5, labels, DefaultThresholds())
+	if inf.Verdict != IsMatch {
+		t.Errorf("verdict = %v, want IsMatch (posterior %v)", inf.Verdict, inf.Posterior)
+	}
+	if inf.Posterior < 0.99 {
+		t.Errorf("posterior = %v, want near 1", inf.Posterior)
+	}
+}
+
+func TestInferUnanimousNonMatch(t *testing.T) {
+	labels := []Label{
+		{Worker: goodWorker(0), IsMatch: false},
+		{Worker: goodWorker(1), IsMatch: false},
+	}
+	inf := Infer(0.5, labels, DefaultThresholds())
+	if inf.Verdict != IsNonMatch {
+		t.Errorf("verdict = %v, want IsNonMatch (posterior %v)", inf.Verdict, inf.Posterior)
+	}
+}
+
+func TestInferConflictingLabelsUnresolved(t *testing.T) {
+	labels := []Label{
+		{Worker: goodWorker(0), IsMatch: true},
+		{Worker: goodWorker(1), IsMatch: false},
+	}
+	inf := Infer(0.5, labels, DefaultThresholds())
+	if inf.Verdict != Unresolved {
+		t.Errorf("verdict = %v, want Unresolved (posterior %v)", inf.Verdict, inf.Posterior)
+	}
+	if math.Abs(inf.Posterior-0.5) > 1e-9 {
+		t.Errorf("symmetric conflict should stay at prior: %v", inf.Posterior)
+	}
+}
+
+func TestInferEquation17Exact(t *testing.T) {
+	// One worker with λ=0.9 saying match, prior 0.5:
+	// post = 0.5 / (0.5 + 0.5·(0.1/0.9)) = 0.9.
+	labels := []Label{{Worker: Worker{Quality: 0.9}, IsMatch: true}}
+	inf := Infer(0.5, labels, DefaultThresholds())
+	if math.Abs(inf.Posterior-0.9) > 1e-9 {
+		t.Errorf("posterior = %v, want 0.9", inf.Posterior)
+	}
+}
+
+func TestInferPriorMatters(t *testing.T) {
+	labels := []Label{{Worker: Worker{Quality: 0.8}, IsMatch: true}}
+	low := Infer(0.1, labels, DefaultThresholds())
+	high := Infer(0.9, labels, DefaultThresholds())
+	if low.Posterior >= high.Posterior {
+		t.Errorf("prior ignored: %v vs %v", low.Posterior, high.Posterior)
+	}
+}
+
+func TestInferChanceWorkerCarriesNoSignal(t *testing.T) {
+	labels := []Label{{Worker: Worker{Quality: 0.5}, IsMatch: true}}
+	inf := Infer(0.5, labels, DefaultThresholds())
+	if math.Abs(inf.Posterior-0.5) > 0.05 {
+		t.Errorf("50%% worker moved posterior to %v", inf.Posterior)
+	}
+}
+
+func TestPlatformAccurateWorkers(t *testing.T) {
+	gold := pair.NewGold([]pair.Pair{{U1: 1, U2: 1}, {U1: 2, U2: 2}})
+	pl := NewPlatform(gold.IsMatch, Config{
+		NumWorkers: 20, WorkersPerQuestion: 5, ErrorRate: 0.02, Seed: 7,
+	})
+	right := 0
+	total := 0
+	for _, q := range []pair.Pair{{U1: 1, U2: 1}, {U1: 2, U2: 2}, {U1: 1, U2: 2}, {U1: 2, U2: 1}} {
+		labels := pl.Ask(q)
+		if len(labels) != 5 {
+			t.Fatalf("got %d labels, want 5", len(labels))
+		}
+		inf := Infer(0.5, labels, DefaultThresholds())
+		want := IsNonMatch
+		if gold.IsMatch(q) {
+			want = IsMatch
+		}
+		total++
+		if inf.Verdict == want {
+			right++
+		}
+	}
+	if right != total {
+		t.Errorf("accurate workers resolved %d/%d", right, total)
+	}
+	if pl.NumQuestions() != 4 {
+		t.Errorf("NumQuestions = %d, want 4", pl.NumQuestions())
+	}
+}
+
+func TestPlatformCachesRepeatedQuestions(t *testing.T) {
+	gold := pair.NewGold([]pair.Pair{{U1: 1, U2: 1}})
+	pl := NewPlatform(gold.IsMatch, DefaultConfig())
+	q := pair.Pair{U1: 1, U2: 1}
+	l1 := pl.Ask(q)
+	l2 := pl.Ask(q)
+	if pl.NumQuestions() != 1 {
+		t.Errorf("repeat question counted: %d", pl.NumQuestions())
+	}
+	if len(l1) != len(l2) {
+		t.Fatal("cache returned different labels")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Error("cache returned different labels")
+		}
+	}
+}
+
+func TestPlatformErrorRateRealized(t *testing.T) {
+	// With error rate 0.25 a single worker should be wrong ≈ 25% of the
+	// time over many fresh questions.
+	gold := pair.NewGold(nil) // everything is a non-match
+	pl := NewPlatform(gold.IsMatch, Config{
+		NumWorkers: 10, WorkersPerQuestion: 1, ErrorRate: 0.25, Seed: 3,
+	})
+	wrong := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		labels := pl.Ask(pair.Pair{U1: 0, U2: int32ID(i)})
+		if labels[0].IsMatch { // truth is non-match
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if math.Abs(rate-0.25) > 0.03 {
+		t.Errorf("observed error rate %v, want ≈ 0.25", rate)
+	}
+}
+
+func TestPlatformDeterministicWithSeed(t *testing.T) {
+	gold := pair.NewGold([]pair.Pair{{U1: 1, U2: 1}})
+	mk := func() []Label {
+		pl := NewPlatform(gold.IsMatch, Config{NumWorkers: 10, WorkersPerQuestion: 3, ErrorRate: 0.2, Seed: 42})
+		return pl.Ask(pair.Pair{U1: 1, U2: 1})
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func int32ID(i int) kb.EntityID { return kb.EntityID(i) }

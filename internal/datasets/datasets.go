@@ -1,0 +1,55 @@
+// Package datasets generates seeded synthetic stand-ins for the four
+// benchmark datasets of the paper's evaluation (Table II): IIMB, DBLP–ACM
+// (D-A), IMDB–YAGO (I-Y) and DBpedia–YAGO (D-Y). The real dumps are up to
+// 15.1M entities; these generators reproduce each dataset's *structural
+// profile* at laptop scale — schema heterogeneity, relationship density,
+// label noise, unlabeled entities, isolated-pair fractions — so the
+// relative behavior of all methods is preserved (see DESIGN.md §4).
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// AttrRef is a reference attribute match (by name), the gold standard of
+// the attribute-matching experiment (Table IV).
+type AttrRef struct {
+	A1, A2 string
+}
+
+// Dataset bundles two KBs with their gold standard.
+type Dataset struct {
+	Name string
+	K1   *kb.KB
+	K2   *kb.KB
+	Gold *pair.Gold
+	// AttrGold lists the reference attribute matches (only populated for
+	// I-Y and D-Y, as in the paper).
+	AttrGold []AttrRef
+}
+
+// Names lists the generator names accepted by ByName, in paper order.
+func Names() []string { return []string{"iimb", "d-a", "i-y", "d-y"} }
+
+// ByName builds the named dataset with the given seed.
+func ByName(name string, seed int64) (*Dataset, error) {
+	switch name {
+	case "iimb", "IIMB":
+		return IIMB(seed), nil
+	case "d-a", "D-A", "dblp-acm":
+		return DBLPACM(seed), nil
+	case "i-y", "I-Y", "imdb-yago":
+		return IMDBYAGO(seed), nil
+	case "d-y", "D-Y", "dbpedia-yago":
+		return DBpediaYAGO(seed), nil
+	}
+	return nil, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// All builds the four datasets in paper order.
+func All(seed int64) []*Dataset {
+	return []*Dataset{IIMB(seed), DBLPACM(seed), IMDBYAGO(seed), DBpediaYAGO(seed)}
+}

@@ -1,0 +1,112 @@
+package datasets
+
+import "repro/internal/kb"
+
+// IIMB synthesizes the OAEI IIMB profile: a small benchmark of 365
+// matched entity pairs with identical schemas on both sides (12
+// attributes, 15 relationships), light value perturbation, and a
+// movie-flavored type system (films, actors, directors, locations). Almost
+// nothing is isolated (0.3% in Table VIII).
+func IIMB(seed int64) *Dataset {
+	b := newBuilder("iimb1", "iimb2", seed)
+	k1, k2 := b.k1, b.k2
+
+	// Identical attribute and relationship vocabularies on both sides.
+	attrs := []string{
+		"name", "birth_date", "gender", "budget", "duration", "release_year",
+		"language", "country", "founded", "population", "genre", "article",
+	}
+	a1 := map[string]kb.AttrID{}
+	a2 := map[string]kb.AttrID{}
+	for _, a := range attrs {
+		a1[a] = k1.AddAttr(a)
+		a2[a] = k2.AddAttr(a)
+	}
+	rels := []string{
+		"acted_in", "directed_by", "born_in", "located_in", "sequel_of",
+		"married_to", "works_for", "created_by", "filmed_in", "set_in",
+		"award_from", "produced_by", "written_by", "lives_in", "part_of",
+	}
+	r1 := map[string]kb.RelID{}
+	r2 := map[string]kb.RelID{}
+	for _, r := range rels {
+		r1[r] = k1.AddRel(r)
+		r2[r] = k2.AddRel(r)
+	}
+
+	type ent struct{ u1, u2 kb.EntityID }
+	relBoth := func(s ent, rel string, o ent, pKeep2 float64) {
+		k1.AddRelTriple(s.u1, r1[rel], o.u1)
+		if b.rng.Float64() < pKeep2 {
+			k2.AddRelTriple(s.u2, r2[rel], o.u2)
+		}
+	}
+
+	// 25 locations.
+	var locations []ent
+	for i := 0; i < 25; i++ {
+		label := b.unique(func() string {
+			return b.pick(cityNames) + " " + []string{"city", "county", "falls", "heights"}[b.rng.Intn(4)]
+		})
+		u1, u2 := b.addPair(fid("loc", i), label, pairOpts{typ: "location", perturb: 0.15})
+		b.attrBoth(u1, u2, a1["name"], a2["name"], label, 0.95, 0.1)
+		b.attrBoth(u1, u2, a1["population"], a2["population"], b.year(10000, 900000), 0.7, 0.2)
+		b.attrBoth(u1, u2, a1["country"], a2["country"], b.pick(languageNames), 0.7, 0.1)
+		locations = append(locations, ent{u1, u2})
+	}
+
+	// 60 directors.
+	var directors []ent
+	for i := 0; i < 60; i++ {
+		label := b.uniquePersonName()
+		u1, u2 := b.addPair(fid("dir", i), label, pairOpts{typ: "person", perturb: 0.25})
+		b.attrBoth(u1, u2, a1["name"], a2["name"], label, 0.95, 0.1)
+		b.attrBoth(u1, u2, a1["birth_date"], a2["birth_date"], b.date(1920, 1980), 0.8, 0.1)
+		b.attrBoth(u1, u2, a1["gender"], a2["gender"], []string{"male", "female"}[b.rng.Intn(2)], 0.9, 0)
+		d := ent{u1, u2}
+		relBoth(d, "born_in", locations[b.rng.Intn(len(locations))], 1)
+		directors = append(directors, d)
+	}
+
+	// 120 films, each directed by a director, set in a location.
+	var films []ent
+	for i := 0; i < 120; i++ {
+		label := "the " + b.uniquePhrase(titleWords, 2)
+		u1, u2 := b.addPair(fid("film", i), label, pairOpts{typ: "film", perturb: 0.25})
+		b.attrBoth(u1, u2, a1["name"], a2["name"], label, 0.95, 0.1)
+		b.attrBoth(u1, u2, a1["release_year"], a2["release_year"], b.year(1950, 2015), 0.85, 0.05)
+		b.attrBoth(u1, u2, a1["duration"], a2["duration"], b.year(80, 200), 0.7, 0.1)
+		b.attrBoth(u1, u2, a1["genre"], a2["genre"], b.pick(genreNames), 0.8, 0)
+		b.attrBoth(u1, u2, a1["language"], a2["language"], b.pick(languageNames), 0.7, 0)
+		f := ent{u1, u2}
+		relBoth(f, "directed_by", directors[b.rng.Intn(len(directors))], 1)
+		relBoth(f, "set_in", locations[b.rng.Intn(len(locations))], 0.9)
+		films = append(films, f)
+	}
+
+	// 158 actors acting in 1–3 films; one isolated pair (~0.3%).
+	for i := 0; i < 158; i++ {
+		label := b.uniquePersonName()
+		u1, u2 := b.addPair(fid("act", i), label, pairOpts{typ: "person", perturb: 0.25})
+		b.attrBoth(u1, u2, a1["name"], a2["name"], label, 0.95, 0.1)
+		b.attrBoth(u1, u2, a1["birth_date"], a2["birth_date"], b.date(1930, 1995), 0.8, 0.1)
+		if i == 0 {
+			continue // the isolated pair
+		}
+		a := ent{u1, u2}
+		n := 1 + b.rng.Intn(3)
+		for j := 0; j < n; j++ {
+			relBoth(a, "acted_in", films[b.rng.Intn(len(films))], 1)
+		}
+		if b.rng.Float64() < 0.3 {
+			relBoth(a, "lives_in", locations[b.rng.Intn(len(locations))], 1)
+		}
+	}
+
+	// Film sequels connect films to films.
+	for i := 1; i < len(films); i += 7 {
+		relBoth(films[i], "sequel_of", films[i-1], 1)
+	}
+
+	return b.finish("IIMB", nil)
+}

@@ -1,0 +1,78 @@
+package datasets
+
+// Deterministic word pools used to synthesize labels. Kept intentionally
+// small and distinctive so that token-based blocking behaves like it does
+// on the real datasets: same-object labels overlap heavily, different
+// objects overlap rarely but not never.
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+	"nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+	"mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+	"emily", "andrew", "donna", "joshua", "michelle",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores",
+}
+
+var titleWords = []string{
+	"shadow", "river", "night", "crimson", "garden", "winter", "echo",
+	"silent", "golden", "storm", "broken", "hidden", "burning", "frozen",
+	"distant", "forgotten", "endless", "savage", "gentle", "iron",
+	"velvet", "hollow", "scarlet", "amber", "obsidian", "radiant",
+	"wandering", "fallen", "rising", "last", "first", "lost", "final",
+	"secret", "stolen", "sacred", "wild", "quiet", "bright", "dark",
+}
+
+var cityNames = []string{
+	"springfield", "riverton", "lakewood", "fairview", "georgetown",
+	"salem", "madison", "clinton", "arlington", "ashland", "dover",
+	"hudson", "kingston", "milton", "newport", "oxford", "burlington",
+	"bristol", "clayton", "dayton", "easton", "franklin", "greenville",
+	"hamilton", "jackson", "lebanon", "manchester", "marion", "milford",
+	"monroe",
+}
+
+var venueNames = []string{
+	"sigmod", "vldb", "icde", "kdd", "cikm", "edbt", "icdm", "wsdm",
+	"sigir", "www",
+}
+
+var topicWords = []string{
+	"query", "optimization", "distributed", "database", "systems",
+	"learning", "graph", "entity", "resolution", "index", "transaction",
+	"stream", "parallel", "adaptive", "scalable", "efficient", "approximate",
+	"incremental", "semantic", "knowledge", "crowdsourcing", "probabilistic",
+	"join", "aggregation", "partitioning", "caching", "recovery", "storage",
+	"mining", "retrieval",
+}
+
+var genreNames = []string{
+	"drama", "comedy", "thriller", "romance", "action", "horror",
+	"documentary", "western", "musical", "mystery",
+}
+
+var languageNames = []string{
+	"english", "french", "german", "spanish", "italian", "japanese",
+	"mandarin", "hindi", "portuguese", "russian",
+}
+
+var orgWords = []string{
+	"national", "institute", "united", "global", "central", "pacific",
+	"atlantic", "northern", "southern", "eastern", "western", "royal",
+	"federal", "metropolitan", "continental",
+}
+
+var diseaseWords = []string{
+	"chronic", "acute", "primary", "secondary", "idiopathic", "familial",
+	"juvenile", "systemic", "focal", "diffuse", "neuralgia", "sclerosis",
+	"fibrosis", "dystrophy", "syndrome",
+}

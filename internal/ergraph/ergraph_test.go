@@ -1,0 +1,217 @@
+package ergraph
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// figure1KBs reproduces the paper's Figure 1 fragment: Tim directs two
+// movies in each KB, Joan/John act in them, Joan was born in NYC.
+func figure1KBs() (*kb.KB, *kb.KB, map[string]pair.Pair) {
+	k1 := kb.New("yago")
+	k2 := kb.New("dbpedia")
+	e := func(k *kb.KB, n string) kb.EntityID { return k.AddEntity(n) }
+
+	yTim, dTim := e(k1, "y:Tim"), e(k2, "d:Tim")
+	yJoan, dJoan := e(k1, "y:Joan"), e(k2, "d:Joan")
+	yJohn, dJohn := e(k1, "y:John"), e(k2, "d:John")
+	yCradle, dCradle := e(k1, "y:Cradle"), e(k2, "d:Cradle")
+	yPlayer, dPlayer := e(k1, "y:Player"), e(k2, "d:Player")
+	yNYC, dNYC := e(k1, "y:NYC"), e(k2, "d:NYC")
+
+	dir1, dir2 := k1.AddRel("directedBy"), k2.AddRel("directedBy")
+	act1, act2 := k1.AddRel("actedIn"), k2.AddRel("actedIn")
+	born1, born2 := k1.AddRel("wasBornIn"), k2.AddRel("birthPlace")
+
+	k1.AddRelTriple(yCradle, dir1, yTim)
+	k1.AddRelTriple(yPlayer, dir1, yTim)
+	k2.AddRelTriple(dCradle, dir2, dTim)
+	k2.AddRelTriple(dPlayer, dir2, dTim)
+	k1.AddRelTriple(yJoan, act1, yCradle)
+	k1.AddRelTriple(yJohn, act1, yPlayer)
+	k2.AddRelTriple(dJoan, act2, dCradle)
+	k2.AddRelTriple(dJohn, act2, dPlayer)
+	k1.AddRelTriple(yJoan, born1, yNYC)
+	k2.AddRelTriple(dJoan, born2, dNYC)
+
+	ps := map[string]pair.Pair{
+		"tim":    {U1: yTim, U2: dTim},
+		"joan":   {U1: yJoan, U2: dJoan},
+		"john":   {U1: yJohn, U2: dJohn},
+		"cradle": {U1: yCradle, U2: dCradle},
+		"player": {U1: yPlayer, U2: dPlayer},
+		"cp":     {U1: yCradle, U2: dPlayer},
+		"nyc":    {U1: yNYC, U2: dNYC},
+	}
+	return k1, k2, ps
+}
+
+func buildFig1() (*Graph, map[string]pair.Pair) {
+	k1, k2, ps := figure1KBs()
+	vertices := []pair.Pair{ps["tim"], ps["joan"], ps["john"], ps["cradle"], ps["player"], ps["cp"], ps["nyc"]}
+	return Build(k1, k2, vertices), ps
+}
+
+func TestBuildEdges(t *testing.T) {
+	g, ps := buildFig1()
+	if g.NumVertices() != 7 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	// joan --(wasBornIn,birthPlace)--> nyc
+	out := g.Out(ps["joan"])
+	foundNYC := false
+	for _, e := range out {
+		if e.To == ps["nyc"] {
+			foundNYC = true
+		}
+	}
+	if !foundNYC {
+		t.Error("joan → nyc edge missing")
+	}
+	// cradle --(directedBy,directedBy)--> tim, and (cradle,player) → tim too.
+	if len(g.Out(ps["cradle"])) == 0 || len(g.Out(ps["cp"])) == 0 {
+		t.Error("directedBy edges missing")
+	}
+	// in-edges of tim come from cradle, player, cp (+ cross pairs absent
+	// because (y:Player,d:Cradle) is not a vertex).
+	if got := len(g.In(ps["tim"])); got != 3 {
+		t.Errorf("in-degree of tim = %d, want 3", got)
+	}
+}
+
+func TestEdgeSymmetryOfIndexes(t *testing.T) {
+	g, _ := buildFig1()
+	// Every out edge appears as an in edge of its target.
+	for _, v := range g.Vertices() {
+		for _, e := range g.Out(v) {
+			found := false
+			for _, e2 := range g.In(e.To) {
+				if e2 == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %v missing from in-index", e)
+			}
+		}
+	}
+}
+
+func TestOutByLabel(t *testing.T) {
+	g, ps := buildFig1()
+	byLabel := g.OutByLabel(ps["joan"])
+	if len(byLabel) != 2 {
+		t.Fatalf("joan should have 2 distinct labels, got %d", len(byLabel))
+	}
+	total := 0
+	for _, es := range byLabel {
+		total += len(es)
+	}
+	if total != len(g.Out(ps["joan"])) {
+		t.Error("OutByLabel lost edges")
+	}
+}
+
+func TestIsolated(t *testing.T) {
+	k1, k2, ps := figure1KBs()
+	lonely1 := k1.AddEntity("y:Lonely")
+	lonely2 := k2.AddEntity("d:Lonely")
+	iso := pair.Pair{U1: lonely1, U2: lonely2}
+	g := Build(k1, k2, []pair.Pair{ps["joan"], ps["nyc"], iso})
+	got := g.Isolated()
+	if len(got) != 1 || got[0] != iso {
+		t.Errorf("Isolated = %v, want [%v]", got, iso)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	k1, k2, ps := figure1KBs()
+	lonely1 := k1.AddEntity("y:Lonely")
+	lonely2 := k2.AddEntity("d:Lonely")
+	iso := pair.Pair{U1: lonely1, U2: lonely2}
+	vertices := []pair.Pair{ps["tim"], ps["joan"], ps["john"], ps["cradle"], ps["player"], ps["cp"], ps["nyc"], iso}
+	g := Build(k1, k2, vertices)
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2 (sizes: %v)", len(comps), sizes(comps))
+	}
+	if len(comps[0]) != 7 || len(comps[1]) != 1 {
+		t.Errorf("component sizes = %v, want [7 1]", sizes(comps))
+	}
+	if comps[1][0] != iso {
+		t.Errorf("singleton component = %v, want %v", comps[1][0], iso)
+	}
+}
+
+func sizes(comps [][]pair.Pair) []int {
+	out := make([]int, len(comps))
+	for i, c := range comps {
+		out[i] = len(c)
+	}
+	return out
+}
+
+func TestLabels(t *testing.T) {
+	g, _ := buildFig1()
+	labels := g.Labels()
+	// Three relationship pairs, each materialized forward and inverse.
+	if len(labels) != 6 {
+		t.Errorf("Labels = %v, want 6 (3 pairs × 2 directions)", labels)
+	}
+	forward, inverse := 0, 0
+	for _, l := range labels {
+		if l.Inverse {
+			inverse++
+		} else {
+			forward++
+		}
+	}
+	if forward != 3 || inverse != 3 {
+		t.Errorf("forward=%d inverse=%d, want 3/3", forward, inverse)
+	}
+}
+
+func TestInverseEdgesExist(t *testing.T) {
+	g, ps := buildFig1()
+	// (Tim,Tim) must reach the movie pairs through the inverse of
+	// directedBy — the paper's §V-B propagation example.
+	found := false
+	for _, e := range g.Out(ps["tim"]) {
+		if e.To == ps["cradle"] && e.Label.Inverse {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no inverse edge tim → cradle: %v", g.Out(ps["tim"]))
+	}
+}
+
+func TestContainsAndIndexOf(t *testing.T) {
+	g, ps := buildFig1()
+	if !g.Contains(ps["tim"]) {
+		t.Error("Contains(tim) = false")
+	}
+	if g.Contains(pair.Pair{U1: 99, U2: 99}) {
+		t.Error("Contains(fake) = true")
+	}
+	if g.IndexOf(ps["tim"]) < 0 {
+		t.Error("IndexOf(tim) < 0")
+	}
+	if g.IndexOf(pair.Pair{U1: 99, U2: 99}) != -1 {
+		t.Error("IndexOf(fake) != -1")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	k1, k2, _ := figure1KBs()
+	g := Build(k1, k2, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Error("empty vertex set should give empty graph")
+	}
+	if comps := g.Components(); len(comps) != 0 {
+		t.Errorf("Components = %v", comps)
+	}
+}

@@ -1,0 +1,47 @@
+// Package eval provides evaluation utilities beyond basic P/R/F1: the
+// error rate of the optimal monotone classifier (Tao, PODS 2018) used in
+// Table V to measure how well the partial order respects the gold
+// standard.
+package eval
+
+import (
+	"repro/internal/assign"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+// OptimalMonotoneError computes the minimal fraction of pairs that any
+// monotone classifier over the similarity vectors must misclassify.
+//
+// A "violation" is a true match m and a true non-match n with
+// s(n) ⪰ s(m): a monotone classifier accepting m must accept n, so it
+// errs on at least one of the two. The minimal number of errors equals
+// the minimum vertex cover of the bipartite violation graph, which by
+// König's theorem equals its maximum matching (computed with
+// Hopcroft–Karp).
+func OptimalMonotoneError(pairs []pair.Pair, vectors []simvec.Vector, gold *pair.Gold) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	var matchIdx, nonIdx []int
+	for i, p := range pairs {
+		if gold.IsMatch(p) {
+			matchIdx = append(matchIdx, i)
+		} else {
+			nonIdx = append(nonIdx, i)
+		}
+	}
+	if len(matchIdx) == 0 || len(nonIdx) == 0 {
+		return 0
+	}
+	adj := make([][]int, len(matchIdx))
+	for mi, i := range matchIdx {
+		for nj, j := range nonIdx {
+			if vectors[j].Dominates(vectors[i]) {
+				adj[mi] = append(adj[mi], nj)
+			}
+		}
+	}
+	cover, _ := assign.HopcroftKarp(len(matchIdx), len(nonIdx), adj)
+	return float64(cover) / float64(len(pairs))
+}

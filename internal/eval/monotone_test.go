@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+func mkPairs(n int) []pair.Pair {
+	out := make([]pair.Pair, n)
+	for i := range out {
+		out[i] = pair.Pair{U1: kb.EntityID(i), U2: kb.EntityID(i)}
+	}
+	return out
+}
+
+func TestPerfectlyMonotoneData(t *testing.T) {
+	// Matches all above non-matches: zero violations.
+	pairs := mkPairs(4)
+	vectors := []simvec.Vector{{0.9}, {0.8}, {0.2}, {0.1}}
+	gold := pair.NewGold([]pair.Pair{pairs[0], pairs[1]})
+	if got := OptimalMonotoneError(pairs, vectors, gold); got != 0 {
+		t.Errorf("error = %v, want 0", got)
+	}
+}
+
+func TestSingleViolation(t *testing.T) {
+	// One non-match dominates one match: 1 of 4 pairs must be wrong.
+	pairs := mkPairs(4)
+	vectors := []simvec.Vector{{0.3}, {0.8}, {0.9}, {0.1}}
+	gold := pair.NewGold([]pair.Pair{pairs[0], pairs[1]}) // matches: 0.3, 0.8
+	got := OptimalMonotoneError(pairs, vectors, gold)
+	// Non-match vec 0.9 dominates both matches; non-match 0.1 dominates
+	// none. Violation graph: matches {0,1} × non-match {0.9}. Max matching
+	// = 1 ⇒ error 1/4.
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("error = %v, want 0.25", got)
+	}
+}
+
+func TestIncomparableVectorsNoViolation(t *testing.T) {
+	pairs := mkPairs(2)
+	vectors := []simvec.Vector{{0.9, 0.1}, {0.1, 0.9}}
+	gold := pair.NewGold([]pair.Pair{pairs[0]})
+	if got := OptimalMonotoneError(pairs, vectors, gold); got != 0 {
+		t.Errorf("incomparable vectors should not violate: %v", got)
+	}
+}
+
+func TestAllSameVector(t *testing.T) {
+	// Every non-match (weakly) dominates every match: best classifier
+	// errs on min(#match, #non-match).
+	pairs := mkPairs(5)
+	vectors := []simvec.Vector{{0.5}, {0.5}, {0.5}, {0.5}, {0.5}}
+	gold := pair.NewGold([]pair.Pair{pairs[0], pairs[1]}) // 2 matches, 3 non
+	got := OptimalMonotoneError(pairs, vectors, gold)
+	if math.Abs(got-2.0/5.0) > 1e-12 {
+		t.Errorf("error = %v, want 0.4", got)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if got := OptimalMonotoneError(nil, nil, pair.NewGold(nil)); got != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	pairs := mkPairs(2)
+	vectors := []simvec.Vector{{0.1}, {0.2}}
+	allMatch := pair.NewGold(pairs)
+	if got := OptimalMonotoneError(pairs, vectors, allMatch); got != 0 {
+		t.Errorf("all matches: %v", got)
+	}
+	noMatch := pair.NewGold(nil)
+	if got := OptimalMonotoneError(pairs, vectors, noMatch); got != 0 {
+		t.Errorf("no matches: %v", got)
+	}
+}

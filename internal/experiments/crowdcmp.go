@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/corleone"
+	"repro/internal/baselines/hike"
+	"repro/internal/baselines/power"
+	"repro/internal/crowd"
+	"repro/internal/datasets"
+	"repro/internal/pair"
+)
+
+// MethodResult is one (dataset, method) cell of Table III / Figure 3.
+type MethodResult struct {
+	Dataset   string
+	Method    string
+	F1        float64
+	Precision float64
+	Recall    float64
+	Questions int
+}
+
+// crowdMethods returns the Table III competitor set.
+func crowdMethods() []baselines.Method {
+	return []baselines.Method{hike.Method{}, power.Method{}, corleone.Method{}}
+}
+
+// runRemp executes Remp end to end against the given platform config.
+func runRemp(ds *datasets.Dataset, cc crowd.Config, seed int64) MethodResult {
+	p := prepare(ds, seed)
+	platform := newPlatform(ds, cc)
+	res := p.Run(platform)
+	prf := pair.Evaluate(res.Matches, ds.Gold)
+	return MethodResult{
+		Dataset: ds.Name, Method: "Remp",
+		F1: prf.F1, Precision: prf.Precision, Recall: prf.Recall,
+		Questions: res.Questions,
+	}
+}
+
+// runBaseline executes one competitor against the given platform config.
+func runBaseline(ds *datasets.Dataset, m baselines.Method, cc crowd.Config, seed int64) MethodResult {
+	p := prepare(ds, seed)
+	platform := newPlatform(ds, cc)
+	in := baselines.FromPrepared(p, platform, nil, seed)
+	out := m.Run(in)
+	prf := pair.Evaluate(out.Matches, ds.Gold)
+	return MethodResult{
+		Dataset: ds.Name, Method: m.Name(),
+		F1: prf.F1, Precision: prf.Precision, Recall: prf.Recall,
+		Questions: out.Questions,
+	}
+}
+
+// Table3 reproduces "F1-score and number of questions with real workers":
+// Remp vs HIKE, POWER and Corleone on the four datasets under the
+// simulated MTurk-quality worker pool.
+func Table3(w io.Writer, seed int64) []MethodResult {
+	header(w, "Table III: F1-score and number of questions with (simulated) real workers")
+	fmt.Fprintf(w, "%-6s | %-8s %6s | %-8s %6s | %-8s %6s | %-8s %6s\n",
+		"", "Remp F1", "#Q", "HIKE F1", "#Q", "POWER", "#Q", "Corleone", "#Q")
+	var out []MethodResult
+	for _, ds := range datasets.All(seed) {
+		row := []MethodResult{runRemp(ds, realWorkerConfig(seed), seed)}
+		for _, m := range crowdMethods() {
+			row = append(row, runBaseline(ds, m, realWorkerConfig(seed), seed))
+		}
+		fmt.Fprintf(w, "%-6s | %7s %7d | %7s %7d | %7s %7d | %7s %7d\n",
+			ds.Name,
+			pct(row[0].F1), row[0].Questions,
+			pct(row[1].F1), row[1].Questions,
+			pct(row[2].F1), row[2].Questions,
+			pct(row[3].F1), row[3].Questions)
+		out = append(out, row...)
+	}
+	return out
+}
+
+// Figure3 reproduces "F1-score and number of questions w.r.t. simulated
+// workers of varying error rates" (0.05, 0.15, 0.25).
+func Figure3(w io.Writer, seed int64) []MethodResult {
+	header(w, "Figure 3: F1 and #questions vs simulated worker error rate")
+	var out []MethodResult
+	for _, rate := range []float64{0.05, 0.15, 0.25} {
+		fmt.Fprintf(w, "error rate %.2f:\n", rate)
+		fmt.Fprintf(w, "  %-6s | %-8s %6s | %-8s %6s | %-8s %6s | %-8s %6s\n",
+			"", "Remp F1", "#Q", "HIKE F1", "#Q", "POWER", "#Q", "Corleone", "#Q")
+		for _, ds := range datasets.All(seed) {
+			row := []MethodResult{runRemp(ds, errorRateConfig(rate, seed), seed)}
+			for _, m := range crowdMethods() {
+				row = append(row, runBaseline(ds, m, errorRateConfig(rate, seed), seed))
+			}
+			fmt.Fprintf(w, "  %-6s | %7s %7d | %7s %7d | %7s %7d | %7s %7d\n",
+				ds.Name,
+				pct(row[0].F1), row[0].Questions,
+				pct(row[1].F1), row[1].Questions,
+				pct(row[2].F1), row[2].Questions,
+				pct(row[3].F1), row[3].Questions)
+			out = append(out, row...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/paris"
+	"repro/internal/baselines/sigma"
+	"repro/internal/datasets"
+	"repro/internal/pair"
+)
+
+// SeedResult is one (dataset, method, portion) cell of Table VI.
+type SeedResult struct {
+	Dataset string
+	Method  string
+	Portion float64
+	F1      float64
+}
+
+// Table6 reproduces "F1-score w.r.t. varying portions of seed matches":
+// Remp's propagation (no crowd, no isolated-pair classifier) against
+// PARIS and SiGMa, with {20,40,60,80}% of the gold matches as seeds,
+// averaged over five samples as in the paper.
+func Table6(w io.Writer, seed int64) []SeedResult {
+	const repeats = 5
+	portions := []float64{0.2, 0.4, 0.6, 0.8}
+	header(w, "Table VI: F1 vs portion of seed matches (mean of 5 runs)")
+	fmt.Fprintf(w, "%-6s %-6s |", "", "")
+	for _, pt := range portions {
+		fmt.Fprintf(w, " %4.0f%%  ", 100*pt)
+	}
+	fmt.Fprintln(w)
+
+	var out []SeedResult
+	for _, ds := range datasets.All(seed) {
+		p := prepare(ds, seed)
+		in := baselines.FromPrepared(p, nil, nil, seed)
+
+		methods := []struct {
+			name string
+			run  func(seeds []pair.Pair) pair.Set
+		}{
+			{"Remp", func(seeds []pair.Pair) pair.Set { return p.PropagateFromSeeds(seeds) }},
+			{"PARIS", func(seeds []pair.Pair) pair.Set {
+				in2 := *in
+				in2.Seeds = seeds
+				return paris.Method{}.Run(&in2).Matches
+			}},
+			{"SiGMa", func(seeds []pair.Pair) pair.Set {
+				in2 := *in
+				in2.Seeds = seeds
+				return sigma.Method{}.Run(&in2).Matches
+			}},
+		}
+		for _, m := range methods {
+			fmt.Fprintf(w, "%-6s %-6s |", ds.Name, m.name)
+			for _, portion := range portions {
+				sum := 0.0
+				for r := 0; r < repeats; r++ {
+					seeds := sampleSeeds(ds, portion, seed+int64(r)*101)
+					matches := m.run(seeds)
+					sum += pair.Evaluate(matches, ds.Gold).F1
+				}
+				f1 := sum / repeats
+				fmt.Fprintf(w, " %-6s", pct(f1))
+				out = append(out, SeedResult{Dataset: ds.Name, Method: m.name, Portion: portion, F1: f1})
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/attrmatch"
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/pair"
+	"repro/internal/selection"
+	"repro/internal/simvec"
+)
+
+// ScalePoint is one point of Figure 6: the runtime of one algorithm on a
+// fraction of the input pairs.
+type ScalePoint struct {
+	Algorithm string
+	Fraction  float64
+	Elapsed   time.Duration
+}
+
+// Figure6 reproduces "Running time w.r.t. different portion of entity
+// pairs" on the D-Y dataset: Algorithm 1 (partial-order pruning) on 25–100%
+// of the candidate matches Mc, and Algorithm 2 (inferred-set discovery) +
+// Algorithm 3 (greedy question selection) on 25–100% of the retained
+// matches Mrd.
+func Figure6(w io.Writer, seed int64) []ScalePoint {
+	header(w, "Figure 6: running time vs portion of entity pairs (D-Y)")
+	ds, err := datasets.ByName("d-y", seed)
+	if err != nil {
+		panic(err)
+	}
+	fractions := []float64{0.25, 0.5, 0.75, 1.0}
+	var out []ScalePoint
+
+	// Shared stage-1 artifacts.
+	blk := blocking.Generate(ds.K1, ds.K2, blocking.DefaultOptions())
+	am := attrmatch.FindMatches(ds.K1, ds.K2, blk.Initial, attrmatch.DefaultOptions())
+	builder := simvec.NewBuilder(ds.K1, ds.K2, am, 0.9)
+	candPairs := make([]pair.Pair, len(blk.Candidates))
+	for i, c := range blk.Candidates {
+		candPairs[i] = c.Pair
+	}
+
+	// Algorithm 1 on fractions of Mc (vector construction included, as in
+	// the paper's analysis where it dominates).
+	for _, f := range fractions {
+		n := int(f * float64(len(candPairs)))
+		subset := candPairs[:n]
+		start := time.Now()
+		pruner := simvec.NewPruner(subset, builder.All(subset))
+		_ = pruner.Prune(subset, 4)
+		el := time.Since(start)
+		fmt.Fprintf(w, "Algorithm 1 @ %3.0f%% of Mc  (%6d pairs): %v\n", 100*f, n, el)
+		out = append(out, ScalePoint{Algorithm: "Algorithm 1", Fraction: f, Elapsed: el})
+	}
+
+	// Algorithms 2 and 3 on fractions of Mrd.
+	full := core.Prepare(ds.K1, ds.K2, core.DefaultConfig())
+	for _, f := range fractions {
+		n := int(f * float64(len(full.Retained)))
+		subset := full.Retained[:n]
+		cfg := core.DefaultConfig()
+		sub := core.PrepareOnRetained(ds.K1, ds.K2, cfg, subset, full.Blocking)
+
+		start := time.Now()
+		inferred := sub.Prob.InferAll(cfg.Tau)
+		el2 := time.Since(start)
+		fmt.Fprintf(w, "Algorithm 2 @ %3.0f%% of Mrd (%6d pairs): %v\n", 100*f, n, el2)
+		out = append(out, ScalePoint{Algorithm: "Algorithm 2", Fraction: f, Elapsed: el2})
+
+		start = time.Now()
+		cands := make([]selection.Candidate, 0, n)
+		for i, v := range sub.Graph.Vertices() {
+			inf := []int{i}
+			for j := range inferred.SetIndexes(i) {
+				inf = append(inf, j)
+			}
+			cands = append(cands, selection.Candidate{Pair: v, Prob: sub.Priors[v], Inferred: inf})
+		}
+		_ = (selection.Greedy{}).Select(cands, 10)
+		el3 := time.Since(start)
+		fmt.Fprintf(w, "Algorithm 3 @ %3.0f%% of Mrd (%6d pairs): %v\n", 100*f, n, el3)
+		out = append(out, ScalePoint{Algorithm: "Algorithm 3", Fraction: f, Elapsed: el3})
+	}
+	return out
+}

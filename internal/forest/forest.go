@@ -1,0 +1,208 @@
+// Package forest is a from-scratch random forest classifier standing in
+// for the scikit-learn RandomForestClassifier that §VII-B trains on
+// isolated entity pairs: CART trees grown on bootstrap samples with Gini
+// impurity and √d feature sub-sampling, aggregated by majority vote. Only
+// binary classification is supported, which is all entity resolution
+// needs.
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures training; the zero value is replaced by defaults that
+// mirror scikit-learn's (100 trees, √d features, unlimited depth,
+// min-split 2).
+type Options struct {
+	NumTrees    int
+	MaxDepth    int // 0 = unlimited
+	MinSplit    int // minimum samples to attempt a split
+	MaxFeatures int // 0 = floor(sqrt(d)) (at least 1)
+	Seed        int64
+}
+
+func (o *Options) fill(dim int) {
+	if o.NumTrees <= 0 {
+		o.NumTrees = 100
+	}
+	if o.MinSplit <= 0 {
+		o.MinSplit = 2
+	}
+	if o.MaxFeatures <= 0 {
+		o.MaxFeatures = int(math.Sqrt(float64(dim)))
+		if o.MaxFeatures < 1 {
+			o.MaxFeatures = 1
+		}
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 1 << 30
+	}
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees []*node
+	dim   int
+}
+
+type node struct {
+	feature int     // split feature, -1 for leaves
+	thresh  float64 // go left when x[feature] <= thresh
+	left    *node
+	right   *node
+	prob    float64 // leaf: fraction of positive samples
+}
+
+// Train fits a forest on the sample matrix X (rows are feature vectors of
+// equal length) and boolean labels y. It panics if inputs are empty or
+// ragged — programmer error, not data error.
+func Train(X [][]float64, y []bool, opts Options) *Forest {
+	if len(X) == 0 || len(X) != len(y) {
+		panic("forest: empty or mismatched training data")
+	}
+	dim := len(X[0])
+	for _, row := range X {
+		if len(row) != dim {
+			panic("forest: ragged feature matrix")
+		}
+	}
+	opts.fill(dim)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	f := &Forest{dim: dim}
+	n := len(X)
+	for t := 0; t < opts.NumTrees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, grow(X, y, idx, 0, &opts, rng))
+	}
+	return f
+}
+
+// grow recursively builds one CART node.
+func grow(X [][]float64, y []bool, idx []int, depth int, opts *Options, rng *rand.Rand) *node {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	leafProb := float64(pos) / float64(len(idx))
+	if pos == 0 || pos == len(idx) || len(idx) < opts.MinSplit || depth >= opts.MaxDepth {
+		return &node{feature: -1, prob: leafProb}
+	}
+
+	feat, thresh, ok := bestSplit(X, y, idx, opts.MaxFeatures, rng)
+	if !ok {
+		return &node{feature: -1, prob: leafProb}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][feat] <= thresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &node{feature: -1, prob: leafProb}
+	}
+	return &node{
+		feature: feat,
+		thresh:  thresh,
+		left:    grow(X, y, li, depth+1, opts, rng),
+		right:   grow(X, y, ri, depth+1, opts, rng),
+	}
+}
+
+// bestSplit scans a random feature subset for the split minimizing
+// weighted Gini impurity.
+func bestSplit(X [][]float64, y []bool, idx []int, maxFeatures int, rng *rand.Rand) (feat int, thresh float64, ok bool) {
+	dim := len(X[0])
+	perm := rng.Perm(dim)
+	if maxFeatures < dim {
+		perm = perm[:maxFeatures]
+	}
+	bestGini := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, f := range perm {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		for vi := 0; vi+1 < len(vals); vi++ {
+			if vals[vi] == vals[vi+1] {
+				continue
+			}
+			t := (vals[vi] + vals[vi+1]) / 2
+			g := splitGini(X, y, idx, f, t)
+			if g < bestGini {
+				bestGini, feat, thresh, ok = g, f, t, true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+// splitGini computes the weighted Gini impurity of splitting idx on
+// feature f at threshold t.
+func splitGini(X [][]float64, y []bool, idx []int, f int, t float64) float64 {
+	var ln, lp, rn, rp float64
+	for _, i := range idx {
+		if X[i][f] <= t {
+			ln++
+			if y[i] {
+				lp++
+			}
+		} else {
+			rn++
+			if y[i] {
+				rp++
+			}
+		}
+	}
+	gini := func(n, p float64) float64 {
+		if n == 0 {
+			return 0
+		}
+		q := p / n
+		return 2 * q * (1 - q)
+	}
+	total := ln + rn
+	return ln/total*gini(ln, lp) + rn/total*gini(rn, rp)
+}
+
+// Prob returns the forest's estimated probability that x is positive
+// (average of leaf probabilities across trees).
+func (f *Forest) Prob(x []float64) float64 {
+	if len(x) != f.dim {
+		panic("forest: feature dimension mismatch")
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the majority-vote classification of x.
+func (f *Forest) Predict(x []float64) bool { return f.Prob(x) >= 0.5 }
+
+func (n *node) predict(x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,201 @@
+package propagation
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/pair"
+)
+
+// Inferred holds, for every vertex q, the set of vertices p reachable with
+// path probability at least τ, i.e. dist(q,p) ≤ ζ = −log τ where edge
+// lengths are −log Pr[m_v′|m_v]. This is the output of Algorithm 2.
+type Inferred struct {
+	pg   *ProbGraph
+	zeta float64
+	// dist[q][p] = shortest bounded distance (the paper's bt(q));
+	// rev[p][q] mirrors it (the paper's bt⁻¹(p)).
+	dist []map[int]float64
+	rev  []map[int]float64
+}
+
+// Zeta returns the distance bound −log τ.
+func (inf *Inferred) Zeta() float64 { return inf.zeta }
+
+// InferAll computes the bounded distance maps of Algorithm 2 by running a
+// ζ-bounded Dijkstra from every vertex. It produces exactly the same maps
+// as InferAllFW (the paper's modified Floyd–Warshall, kept for fidelity
+// and cross-checked in tests) but scales linearly rather than
+// quadratically in the per-vertex reachable-set size, which dominates on
+// the dense connected components of IIMB-like datasets.
+func (pg *ProbGraph) InferAll(tau float64) *Inferred {
+	n := pg.g.NumVertices()
+	inf := &Inferred{
+		pg:   pg,
+		zeta: zetaOf(tau),
+		dist: make([]map[int]float64, n),
+		rev:  make([]map[int]float64, n),
+	}
+	verts := pg.g.Vertices()
+	for i := 0; i < n; i++ {
+		inf.rev[i] = make(map[int]float64)
+	}
+	for i := 0; i < n; i++ {
+		inf.dist[i] = pg.InferFrom(verts[i], tau)
+		for j, d := range inf.dist[i] {
+			inf.rev[j][i] = d
+		}
+	}
+	return inf
+}
+
+// InferAllFW runs the modified Floyd–Warshall of Algorithm 2: per-vertex
+// bounded distance maps are seeded with single edges of length ≤ ζ and
+// relaxed through every intermediate vertex, touching only the reachable
+// sets. Because all lengths are nonnegative, any subpath of a ζ-bounded
+// path is itself ζ-bounded, so restricting the maps to entries ≤ ζ is
+// lossless.
+func (pg *ProbGraph) InferAllFW(tau float64) *Inferred {
+	n := pg.g.NumVertices()
+	inf := &Inferred{
+		pg:   pg,
+		zeta: zetaOf(tau),
+		dist: make([]map[int]float64, n),
+		rev:  make([]map[int]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		inf.dist[i] = make(map[int]float64)
+		inf.rev[i] = make(map[int]float64)
+	}
+	// Lines 3–5: seed with single edges.
+	for i := 0; i < n; i++ {
+		for j, p := range pg.out[i] {
+			if l := -math.Log(p); l <= inf.zeta {
+				inf.dist[i][j] = l
+				inf.rev[j][i] = l
+			}
+		}
+	}
+	// Lines 6–11: relax through each intermediate k.
+	for k := 0; k < n; k++ {
+		dk := inf.dist[k]
+		rk := inf.rev[k]
+		if len(dk) == 0 || len(rk) == 0 {
+			continue
+		}
+		for i, dik := range rk {
+			for j, dkj := range dk {
+				if i == j {
+					continue
+				}
+				d := dik + dkj
+				if d > inf.zeta {
+					continue
+				}
+				if cur, ok := inf.dist[i][j]; !ok || d < cur {
+					inf.dist[i][j] = d
+					inf.rev[j][i] = d
+				}
+			}
+		}
+	}
+	return inf
+}
+
+// InferFrom runs a single-source bounded Dijkstra from q, returning the
+// map p → dist(q,p) for dist ≤ ζ (excluding q itself). It is equivalent to
+// the q-th row of InferAll and is used for incremental queries and as a
+// cross-check oracle in tests.
+func (pg *ProbGraph) InferFrom(q pair.Pair, tau float64) map[int]float64 {
+	src := pg.g.IndexOf(q)
+	if src < 0 {
+		return nil
+	}
+	zeta := zetaOf(tau)
+	dist := map[int]float64{src: 0}
+	h := &distHeap{{src, 0}}
+	done := map[int]bool{}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(distItem)
+		if done[item.v] {
+			continue
+		}
+		done[item.v] = true
+		for j, p := range pg.out[item.v] {
+			l := -math.Log(p)
+			d := item.d + l
+			if d > zeta {
+				continue
+			}
+			if cur, ok := dist[j]; !ok || d < cur {
+				dist[j] = d
+				heap.Push(h, distItem{j, d})
+			}
+		}
+	}
+	delete(dist, src)
+	return dist
+}
+
+func zetaOf(tau float64) float64 {
+	if tau <= 0 || tau > 1 {
+		tau = 0.9
+	}
+	// Tiny slack absorbs floating-point noise in summed logs.
+	return -math.Log(tau) + 1e-12
+}
+
+// Set returns inferred(q): the vertex pairs p ≠ q with Pr[m_p | m_q] ≥ τ.
+func (inf *Inferred) Set(q pair.Pair) []pair.Pair {
+	i := inf.pg.g.IndexOf(q)
+	if i < 0 {
+		return nil
+	}
+	verts := inf.pg.g.Vertices()
+	out := make([]pair.Pair, 0, len(inf.dist[i]))
+	for j := range inf.dist[i] {
+		out = append(out, verts[j])
+	}
+	return out
+}
+
+// SetIndexes returns inferred(q) as vertex indexes (q excluded).
+func (inf *Inferred) SetIndexes(q int) map[int]float64 { return inf.dist[q] }
+
+// Prob returns the propagated probability Pr[m_p | m_q] = e^{−dist(q,p)},
+// or 0 if p is not inferred from q. Pr[m_q | m_q] = 1.
+func (inf *Inferred) Prob(q, p pair.Pair) float64 {
+	i := inf.pg.g.IndexOf(q)
+	j := inf.pg.g.IndexOf(p)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	if i == j {
+		return 1
+	}
+	d, ok := inf.dist[i][j]
+	if !ok {
+		return 0
+	}
+	return math.Exp(-d)
+}
+
+// distItem and distHeap implement container/heap for Dijkstra.
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,191 @@
+// Package propagation implements relational match propagation (§V): given
+// a labeled match, the posterior match probabilities of its neighbors are
+// obtained by marginalizing Eq. (6)–(9) over injective partial matchings
+// between the two value sets, and distant pairs are reached through the
+// Markov-chain path bound of Eq. (10) evaluated with the bounded all-pairs
+// shortest-path procedure of Algorithm 2.
+package propagation
+
+import (
+	"math"
+
+	"repro/internal/pair"
+)
+
+// CandidatePair is one potential match between the value sets of a
+// relationship pair, carrying its prior match probability.
+type CandidatePair struct {
+	Row   int // index into the side-1 value list
+	Col   int // index into the side-2 value list
+	Pair  pair.Pair
+	Prior float64
+}
+
+// Neighborhood describes the propagation instance around one matched
+// vertex and one edge label (r1, r2): the value-set sizes |N_r1(u1)|,
+// |N_r2(u2)| and the candidate pairs among them that are ER-graph vertices.
+type Neighborhood struct {
+	N1Size, N2Size int
+	Cands          []CandidatePair
+	Eps1, Eps2     float64
+}
+
+// MaxExactSide is the largest per-side candidate dimension for which the
+// posterior is computed exactly by bitmask dynamic programming; larger
+// neighborhoods use the local-exclusion approximation (see DESIGN.md §4).
+const MaxExactSide = 12
+
+// Posteriors returns Pr[m_p | m_v] for every candidate pair p in the
+// neighborhood, in the order of nb.Cands.
+//
+// Derivation: with priors clamped to (0,1), every injective match set M
+// has weight f(M)·g(M|N1)·g(M|N2) ∝ ∏_{p∈M} w_p, where
+//
+//	w_p = prior(p)/(1−prior(p)) · ε1/(1−ε1) · ε2/(1−ε2),
+//
+// because |π1(M)| = |π2(M)| = |M| and the remaining factors are common to
+// all M. The posterior of p is then the ratio of matching "permanents":
+// Pr[m_p | m_v] = w_p · Z(without row/col of p) / Z(all).
+func (nb *Neighborhood) Posteriors() []float64 {
+	n := len(nb.Cands)
+	if n == 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	for i, c := range nb.Cands {
+		prior := clampProb(c.Prior)
+		e1 := clampProb(nb.Eps1)
+		e2 := clampProb(nb.Eps2)
+		weights[i] = prior / (1 - prior) * e1 / (1 - e1) * e2 / (1 - e2)
+	}
+
+	rows, cols := dimensions(nb.Cands)
+	if rows <= MaxExactSide || cols <= MaxExactSide {
+		return exactPosteriors(nb.Cands, weights, rows, cols)
+	}
+	return approxPosteriors(nb.Cands, weights)
+}
+
+func dimensions(cands []CandidatePair) (rows, cols int) {
+	for _, c := range cands {
+		if c.Row+1 > rows {
+			rows = c.Row + 1
+		}
+		if c.Col+1 > cols {
+			cols = c.Col + 1
+		}
+	}
+	return rows, cols
+}
+
+// exactPosteriors computes the permanent-style partition function by DP
+// over subsets of the smaller side.
+func exactPosteriors(cands []CandidatePair, weights []float64, rows, cols int) []float64 {
+	// Make columns the mask dimension (swap if rows is smaller).
+	swapped := false
+	if rows < cols {
+		swapped = true
+		rows, cols = cols, rows
+	}
+	byRow := make([][]cell, rows)
+	for i, c := range cands {
+		r, cl := c.Row, c.Col
+		if swapped {
+			r, cl = cl, r
+		}
+		byRow[r] = append(byRow[r], cell{col: cl, w: weights[i], cand: i})
+	}
+
+	// Z(banRow, banColMask): partition function over matchings avoiding a
+	// row and set of columns. We need Z(-1, 0) and, per candidate, the
+	// partition function excluding its row and column. Recompute per
+	// candidate: dimensions are ≤ MaxExactSide so this stays cheap.
+	zTotal := partition(byRow, -1, 0)
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		r, cl := c.Row, c.Col
+		if swapped {
+			r, cl = cl, r
+		}
+		zWithout := partition(byRow, r, 1<<uint(cl))
+		out[i] = weights[i] * zWithout / zTotal
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// cell is one candidate pair viewed from its row: the column it occupies,
+// its weight, and its index in the candidate list.
+type cell struct {
+	col  int
+	w    float64
+	cand int
+}
+
+// partition sums ∏ w over injective partial matchings that avoid banRow
+// and the columns in banMask. DP over rows with a map from used-column
+// masks to accumulated weight.
+func partition(byRow [][]cell, banRow int, banMask uint32) float64 {
+	states := map[uint32]float64{banMask: 1}
+	for r := range byRow {
+		if r == banRow || len(byRow[r]) == 0 {
+			continue
+		}
+		next := make(map[uint32]float64, len(states)*2)
+		for mask, acc := range states {
+			// Row unmatched.
+			next[mask] += acc
+			// Row matched to an unused column.
+			for _, c := range byRow[r] {
+				bit := uint32(1) << uint(c.col)
+				if mask&bit == 0 {
+					next[mask|bit] += acc * c.w
+				}
+			}
+		}
+		states = next
+	}
+	total := 0.0
+	for _, acc := range states {
+		total += acc
+	}
+	return total
+}
+
+// approxPosteriors is the fallback for neighborhoods larger than
+// MaxExactSide on both sides: each candidate competes only with the other
+// candidates in its own row and column (exact when that sub-graph is a
+// star): Pr[p] ≈ w_p / (1 + Σ_{q ∈ row(p) ∪ col(p)} w_q).
+func approxPosteriors(cands []CandidatePair, weights []float64) []float64 {
+	rowSum := map[int]float64{}
+	colSum := map[int]float64{}
+	for i, c := range cands {
+		rowSum[c.Row] += weights[i]
+		colSum[c.Col] += weights[i]
+	}
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		denom := 1 + rowSum[c.Row] + colSum[c.Col] - weights[i]
+		out[i] = weights[i] / denom
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func clampProb(p float64) float64 {
+	const lo, hi = 0.01, 0.99
+	if math.IsNaN(p) {
+		return lo
+	}
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}

@@ -1,0 +1,209 @@
+package propagation
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/consistency"
+	"repro/internal/ergraph"
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// ProbGraph is the probabilistic ER graph: the ER graph with each directed
+// edge (v, v′) annotated with the conditional probability Pr[m_v′ | m_v]
+// obtained from neighbor propagation. When several labels connect the same
+// ordered vertex pair, the most informative (maximum) probability is kept.
+type ProbGraph struct {
+	g   *ergraph.Graph
+	out []map[int]float64 // out[i][j] = Pr[m_j | m_i]
+	in  []map[int]float64 // in[j][i]  = Pr[m_j | m_i]
+}
+
+// Params configures probabilistic graph construction.
+type Params struct {
+	// Priors maps candidate pairs to prior match probabilities Pr[m_p];
+	// missing pairs default to DefaultPrior.
+	Priors map[pair.Pair]float64
+	// DefaultPrior is used for pairs absent from Priors (0.5 if zero).
+	DefaultPrior float64
+	// Consistency maps each edge label to its fitted (ε1, ε2); missing
+	// labels fall back to ε = 0.5 on both sides.
+	Consistency map[ergraph.RelPair]consistency.Estimate
+	// MaxExactCandidates bounds the exact marginalization instance size
+	// (number of candidate pairs in one neighborhood); larger instances use
+	// the local-exclusion approximation. Default 48.
+	MaxExactCandidates int
+}
+
+func (p *Params) fill() {
+	if p.DefaultPrior == 0 {
+		p.DefaultPrior = 0.5
+	}
+	if p.MaxExactCandidates == 0 {
+		p.MaxExactCandidates = 48
+	}
+}
+
+// BuildProb computes conditional probabilities for every edge of g.
+func BuildProb(g *ergraph.Graph, k1, k2 *kb.KB, params Params) *ProbGraph {
+	params.fill()
+	pg := &ProbGraph{
+		g:   g,
+		out: make([]map[int]float64, g.NumVertices()),
+		in:  make([]map[int]float64, g.NumVertices()),
+	}
+	for i := range pg.out {
+		pg.out[i] = make(map[int]float64)
+		pg.in[i] = make(map[int]float64)
+	}
+	for i, v := range g.Vertices() {
+		byLabel := g.OutByLabel(v)
+		// Deterministic label order.
+		labels := make([]ergraph.RelPair, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(a, b int) bool {
+			if labels[a].R1 != labels[b].R1 {
+				return labels[a].R1 < labels[b].R1
+			}
+			return labels[a].R2 < labels[b].R2
+		})
+		for _, label := range labels {
+			edges := byLabel[label]
+			nb := buildNeighborhood(k1, k2, v, label, edges, params)
+			if len(nb.Cands) > params.MaxExactCandidates {
+				// Force the approximation path by inflating dimensions.
+				post := approxPosteriors(nb.Cands, candWeights(nb))
+				pg.record(i, edges, nb, post)
+				continue
+			}
+			post := nb.Posteriors()
+			pg.record(i, edges, nb, post)
+		}
+	}
+	return pg
+}
+
+func candWeights(nb *Neighborhood) []float64 {
+	w := make([]float64, len(nb.Cands))
+	for i, c := range nb.Cands {
+		prior := clampProb(c.Prior)
+		e1 := clampProb(nb.Eps1)
+		e2 := clampProb(nb.Eps2)
+		w[i] = prior / (1 - prior) * e1 / (1 - e1) * e2 / (1 - e2)
+	}
+	return w
+}
+
+func (pg *ProbGraph) record(from int, edges []ergraph.Edge, nb *Neighborhood, post []float64) {
+	for ci, c := range nb.Cands {
+		j := pg.g.IndexOf(c.Pair)
+		if j < 0 || j == from {
+			continue
+		}
+		if post[ci] > pg.out[from][j] {
+			pg.out[from][j] = post[ci]
+			pg.in[j][from] = post[ci]
+		}
+	}
+	_ = edges
+}
+
+// buildNeighborhood assembles the propagation instance for vertex v and
+// one edge label: distinct successor entities on each side index the
+// rows/columns, and each successor pair that is a graph vertex becomes a
+// candidate with its prior.
+func buildNeighborhood(k1, k2 *kb.KB, v pair.Pair, label ergraph.RelPair, edges []ergraph.Edge, params Params) *Neighborhood {
+	rowIdx := map[kb.EntityID]int{}
+	colIdx := map[kb.EntityID]int{}
+	nb := &Neighborhood{}
+	if label.Inverse {
+		nb.N1Size = len(k1.In(v.U1, label.R1))
+		nb.N2Size = len(k2.In(v.U2, label.R2))
+	} else {
+		nb.N1Size = len(k1.Out(v.U1, label.R1))
+		nb.N2Size = len(k2.Out(v.U2, label.R2))
+	}
+	est, ok := params.Consistency[label]
+	if !ok {
+		est = consistency.Estimate{Eps1: 0.5, Eps2: 0.5}
+	}
+	nb.Eps1, nb.Eps2 = est.Eps1, est.Eps2
+	seen := map[pair.Pair]bool{}
+	for _, e := range edges {
+		if seen[e.To] {
+			continue
+		}
+		seen[e.To] = true
+		r, ok := rowIdx[e.To.U1]
+		if !ok {
+			r = len(rowIdx)
+			rowIdx[e.To.U1] = r
+		}
+		c, ok := colIdx[e.To.U2]
+		if !ok {
+			c = len(colIdx)
+			colIdx[e.To.U2] = c
+		}
+		prior, ok := params.Priors[e.To]
+		if !ok {
+			prior = params.DefaultPrior
+		}
+		nb.Cands = append(nb.Cands, CandidatePair{Row: r, Col: c, Pair: e.To, Prior: prior})
+	}
+	return nb
+}
+
+// Graph returns the underlying ER graph.
+func (pg *ProbGraph) Graph() *ergraph.Graph { return pg.g }
+
+// Prob returns Pr[m_to | m_from], or 0 when no edge exists.
+func (pg *ProbGraph) Prob(from, to pair.Pair) float64 {
+	i := pg.g.IndexOf(from)
+	j := pg.g.IndexOf(to)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return pg.out[i][j]
+}
+
+// SetProb overrides an edge probability (used when re-estimating edges
+// after truth inference).
+func (pg *ProbGraph) SetProb(from, to pair.Pair, p float64) {
+	i := pg.g.IndexOf(from)
+	j := pg.g.IndexOf(to)
+	if i < 0 || j < 0 || i == j {
+		return
+	}
+	if p <= 0 {
+		delete(pg.out[i], j)
+		delete(pg.in[j], i)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	pg.out[i][j] = p
+	pg.in[j][i] = p
+}
+
+// NumEdges returns the number of positive-probability directed edges.
+func (pg *ProbGraph) NumEdges() int {
+	n := 0
+	for _, m := range pg.out {
+		n += len(m)
+	}
+	return n
+}
+
+// Length returns −log Pr[m_to | m_from], the shortest-path edge length of
+// §VI-B, or +Inf when the edge is absent.
+func (pg *ProbGraph) Length(from, to pair.Pair) float64 {
+	p := pg.Prob(from, to)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(p)
+}

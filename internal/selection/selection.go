@@ -1,0 +1,167 @@
+// Package selection implements multiple questions selection (§VI): the
+// benefit of a question set Q is the expected number of matches inferable
+// from its labels (Eq. 15–16), a monotone submodular function; the
+// NP-hard budgeted maximization is solved greedily with lazy evaluation
+// (Algorithm 3), giving the classic (1−1/e) guarantee. MaxInf and MaxPr,
+// the two heuristics Remp is compared against in Figure 5, are provided as
+// alternative Strategy implementations.
+package selection
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/pair"
+)
+
+// Candidate describes one candidate question: its pair, its current match
+// probability Pr[m_q], and inferred(q) — the vertex indexes it would
+// resolve if labeled as a match (including itself).
+type Candidate struct {
+	Pair     pair.Pair
+	Prob     float64
+	Inferred []int
+}
+
+// Strategy selects up to mu questions from candidates.
+type Strategy interface {
+	// Select returns the chosen candidate indexes, highest priority first.
+	Select(cands []Candidate, mu int) []int
+}
+
+// Greedy is Algorithm 3: lazy greedy maximization of benefit(Q).
+type Greedy struct{}
+
+// benefitState tracks bp(Q) = Pr[p ∈ inferred(H) | Q] per vertex (Eq. 15)
+// so that a marginal gain evaluation is O(|inferred(q)|).
+type benefitState struct {
+	bp map[int]float64
+}
+
+func (s *benefitState) gain(c Candidate) float64 {
+	g := 0.0
+	for _, p := range c.Inferred {
+		g += c.Prob * (1 - s.bp[p])
+	}
+	return g
+}
+
+func (s *benefitState) add(c Candidate) {
+	for _, p := range c.Inferred {
+		// bp(Q ∪ {q}) = bp(Q) + Pr[m_q](1 − bp(Q)).
+		s.bp[p] += c.Prob * (1 - s.bp[p])
+	}
+}
+
+// Select implements Strategy.
+func (Greedy) Select(cands []Candidate, mu int) []int {
+	if mu <= 0 || len(cands) == 0 {
+		return nil
+	}
+	state := &benefitState{bp: make(map[int]float64)}
+	// Priority queue of (index, cached gain); lazy evaluation re-checks the
+	// top element against the current state before committing.
+	pq := make(gainHeap, 0, len(cands))
+	for i, c := range cands {
+		pq = append(pq, gainItem{idx: i, gain: state.gain(c)})
+	}
+	heap.Init(&pq)
+
+	var out []int
+	for len(out) < mu && pq.Len() > 0 {
+		item := heap.Pop(&pq).(gainItem)
+		// Recompute the gain under the current Q (it can only shrink —
+		// submodularity).
+		fresh := state.gain(cands[item.idx])
+		if fresh <= 0 {
+			// This candidate is fully covered; drop it and keep scanning —
+			// other candidates may still carry positive gain.
+			continue
+		}
+		if pq.Len() > 0 && fresh < pq[0].gain {
+			item.gain = fresh
+			heap.Push(&pq, item)
+			continue
+		}
+		state.add(cands[item.idx])
+		out = append(out, item.idx)
+	}
+	return out
+}
+
+// Benefit evaluates benefit(Q) for an explicit question set (Eq. 16).
+// chosen indexes into cands.
+func Benefit(cands []Candidate, chosen []int) float64 {
+	state := &benefitState{bp: make(map[int]float64)}
+	for _, i := range chosen {
+		state.add(cands[i])
+	}
+	total := 0.0
+	for _, b := range state.bp {
+		total += b
+	}
+	return total
+}
+
+// MaxInf picks the questions with the largest inferred sets, ignoring
+// match probability (Figure 5 baseline).
+type MaxInf struct{}
+
+// Select implements Strategy.
+func (MaxInf) Select(cands []Candidate, mu int) []int {
+	return topBy(cands, mu, func(c Candidate) float64 { return float64(len(c.Inferred)) })
+}
+
+// MaxPr picks the questions with the highest match probability, ignoring
+// inference power (Figure 5 baseline).
+type MaxPr struct{}
+
+// Select implements Strategy.
+func (MaxPr) Select(cands []Candidate, mu int) []int {
+	return topBy(cands, mu, func(c Candidate) float64 { return c.Prob })
+}
+
+func topBy(cands []Candidate, mu int, score func(Candidate) float64) []int {
+	if mu <= 0 || len(cands) == 0 {
+		return nil
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := score(cands[idx[a]]), score(cands[idx[b]])
+		if sa != sb {
+			return sa > sb
+		}
+		return cands[idx[a]].Pair.Less(cands[idx[b]].Pair)
+	})
+	if mu > len(idx) {
+		mu = len(idx)
+	}
+	return idx[:mu]
+}
+
+type gainItem struct {
+	idx  int
+	gain float64
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].idx < h[j].idx
+}
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,216 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+func mk(i int, prob float64, inferred ...int) Candidate {
+	return Candidate{
+		Pair:     pair.Pair{U1: kb.EntityID(i), U2: kb.EntityID(i)},
+		Prob:     prob,
+		Inferred: inferred,
+	}
+}
+
+func TestGreedyPicksLargestBenefit(t *testing.T) {
+	cands := []Candidate{
+		mk(0, 0.9, 0, 1, 2, 3), // high prob, wide inference
+		mk(1, 0.9, 1),          // high prob, narrow
+		mk(2, 0.1, 0, 1, 2, 3), // low prob, wide
+	}
+	got := Greedy{}.Select(cands, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Select = %v, want [0]", got)
+	}
+}
+
+func TestGreedyCoversDisjointRegions(t *testing.T) {
+	// Two overlapping wide questions vs one covering a disjoint region:
+	// after picking q0, q2's disjoint coverage beats q1's redundant one.
+	cands := []Candidate{
+		mk(0, 0.9, 0, 1, 2),
+		mk(1, 0.9, 0, 1, 2),
+		mk(2, 0.9, 3, 4),
+	}
+	got := Greedy{}.Select(cands, 2)
+	if len(got) != 2 {
+		t.Fatalf("Select = %v", got)
+	}
+	ok := (got[0] == 0 || got[0] == 1) && got[1] == 2
+	if !ok {
+		t.Errorf("greedy chose redundant questions: %v", got)
+	}
+}
+
+func TestGreedyStopsOnZeroGain(t *testing.T) {
+	cands := []Candidate{
+		mk(0, 0, 0, 1), // zero probability ⇒ zero gain
+	}
+	if got := (Greedy{}).Select(cands, 3); len(got) != 0 {
+		t.Errorf("Select = %v, want empty", got)
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	var cands []Candidate
+	for i := 0; i < 10; i++ {
+		cands = append(cands, mk(i, 0.5, i))
+	}
+	if got := (Greedy{}).Select(cands, 3); len(got) != 3 {
+		t.Errorf("budget violated: %v", got)
+	}
+}
+
+func TestBenefitFormula(t *testing.T) {
+	// Single question: benefit = Σ_{p∈inferred} Pr[m_q].
+	cands := []Candidate{mk(0, 0.6, 0, 1, 2)}
+	if got := Benefit(cands, []int{0}); math.Abs(got-1.8) > 1e-12 {
+		t.Errorf("Benefit = %v, want 1.8", got)
+	}
+	// Two questions inferring the same pair p: bp = 1-(1-p1)(1-p2).
+	cands = []Candidate{mk(0, 0.6, 7), mk(1, 0.5, 7)}
+	want := 1 - (1-0.6)*(1-0.5)
+	if got := Benefit(cands, []int{0, 1}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Benefit = %v, want %v", got, want)
+	}
+}
+
+// Property: benefit is monotone and submodular on random instances
+// (Theorem 2).
+func TestBenefitMonotoneSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 100; iter++ {
+		n := 3 + rng.Intn(5)
+		var cands []Candidate
+		for i := 0; i < n; i++ {
+			var inf []int
+			for p := 0; p < 6; p++ {
+				if rng.Intn(2) == 0 {
+					inf = append(inf, p)
+				}
+			}
+			cands = append(cands, mk(i, rng.Float64(), inf...))
+		}
+		// Random Q ⊂ Q′ and q ∉ Q′.
+		var q1, q2 []int
+		for i := 0; i < n-1; i++ {
+			if rng.Intn(2) == 0 {
+				q1 = append(q1, i)
+			}
+			if rng.Intn(2) == 0 {
+				q2 = append(q2, i)
+			}
+		}
+		union := mergeSets(q1, q2)
+		q := n - 1
+		bQ1 := Benefit(cands, q1)
+		bU := Benefit(cands, union)
+		if bU < bQ1-1e-9 {
+			t.Fatalf("monotonicity violated: B(Q∪Q')=%v < B(Q)=%v", bU, bQ1)
+		}
+		// Submodularity: gain at smaller set ≥ gain at larger set.
+		gainSmall := Benefit(cands, append(append([]int{}, q1...), q)) - bQ1
+		gainBig := Benefit(cands, append(append([]int{}, union...), q)) - bU
+		if gainSmall < gainBig-1e-9 {
+			t.Fatalf("submodularity violated: %v < %v", gainSmall, gainBig)
+		}
+	}
+}
+
+// Property: lazy greedy equals plain greedy, and on small instances is
+// within (1−1/e) of the brute-force optimum.
+func TestGreedyApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 60; iter++ {
+		n := 4 + rng.Intn(4)
+		mu := 1 + rng.Intn(3)
+		var cands []Candidate
+		for i := 0; i < n; i++ {
+			var inf []int
+			inf = append(inf, i)
+			for p := 0; p < 5; p++ {
+				if rng.Intn(3) == 0 {
+					inf = append(inf, 10+p)
+				}
+			}
+			cands = append(cands, mk(i, 0.1+0.9*rng.Float64(), inf...))
+		}
+		chosen := Greedy{}.Select(cands, mu)
+		gb := Benefit(cands, chosen)
+		best := bruteForceBest(cands, mu)
+		if gb < (1-1/math.E)*best-1e-9 {
+			t.Fatalf("iter %d: greedy %v below guarantee of optimum %v", iter, gb, best)
+		}
+	}
+}
+
+func bruteForceBest(cands []Candidate, mu int) float64 {
+	n := len(cands)
+	best := 0.0
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if b := Benefit(cands, chosen); b > best {
+			best = b
+		}
+		if len(chosen) == mu {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(chosen, i))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+func mergeSets(a, b []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range append(append([]int{}, a...), b...) {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestMaxInfStrategy(t *testing.T) {
+	cands := []Candidate{
+		mk(0, 0.9, 0),
+		mk(1, 0.1, 0, 1, 2, 3, 4),
+		mk(2, 0.5, 0, 1),
+	}
+	got := MaxInf{}.Select(cands, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("MaxInf = %v, want [1 2]", got)
+	}
+}
+
+func TestMaxPrStrategy(t *testing.T) {
+	cands := []Candidate{
+		mk(0, 0.9, 0),
+		mk(1, 0.1, 0, 1, 2, 3, 4),
+		mk(2, 0.5, 0, 1),
+	}
+	got := MaxPr{}.Select(cands, 2)
+	if got[0] != 0 || got[1] != 2 {
+		t.Errorf("MaxPr = %v, want [0 2]", got)
+	}
+}
+
+func TestStrategiesEmptyInput(t *testing.T) {
+	for _, s := range []Strategy{Greedy{}, MaxInf{}, MaxPr{}} {
+		if got := s.Select(nil, 5); len(got) != 0 {
+			t.Errorf("%T on empty input: %v", s, got)
+		}
+		if got := s.Select([]Candidate{mk(0, 0.5, 0)}, 0); len(got) != 0 {
+			t.Errorf("%T with µ=0: %v", s, got)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package remp_test
+
+import (
+	"fmt"
+
+	"repro/remp"
+)
+
+// ExampleResolve resolves two three-entity KBs: a labeled author match
+// propagates to the book through the wrote/authorOf relationship.
+func ExampleResolve() {
+	k1 := remp.NewKB("left")
+	k2 := remp.NewKB("right")
+	name1, name2 := k1.AddAttr("name"), k2.AddAttr("label")
+	wrote1, wrote2 := k1.AddRel("wrote"), k2.AddRel("authorOf")
+
+	addPair := func(n1, n2, label string) (remp.EntityID, remp.EntityID) {
+		u1, u2 := k1.AddEntity(n1), k2.AddEntity(n2)
+		k1.SetLabel(u1, label)
+		k2.SetLabel(u2, label)
+		k1.AddAttrTriple(u1, name1, label)
+		k2.AddAttrTriple(u2, name2, label)
+		return u1, u2
+	}
+	a1, a2 := addPair("l:morrison", "r:morrison", "toni morrison")
+	b1, b2 := addPair("l:beloved", "r:beloved", "beloved")
+	c1, c2 := addPair("l:sula", "r:sula", "sula")
+	k1.AddRelTriple(a1, wrote1, b1)
+	k2.AddRelTriple(a2, wrote2, b2)
+	k1.AddRelTriple(a1, wrote1, c1)
+	k2.AddRelTriple(a2, wrote2, c2)
+
+	gold := remp.NewGold([]remp.Pair{{U1: a1, U2: a2}, {U1: b1, U2: b2}, {U1: c1, U2: c2}})
+	crowd := remp.NewOracleCrowd(gold.IsMatch)
+
+	res, err := remp.Resolve(remp.Dataset{K1: k1, K2: k2}, crowd, remp.Options{Mu: 1})
+	if err != nil {
+		panic(err)
+	}
+	prf := remp.Evaluate(res.Matches, gold)
+	fmt.Printf("matches=%d questions=%d F1=%.0f%%\n", len(res.Matches), res.Questions, 100*prf.F1)
+	// Output: matches=3 questions=1 F1=100%
+}

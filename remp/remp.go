@@ -1,0 +1,219 @@
+// Package remp is the public API of the Remp reproduction: crowdsourced
+// collective entity resolution with relational match propagation (Huang et
+// al., ICDE 2020).
+//
+// The entry point is Resolve, which runs the full four-stage pipeline —
+// ER graph construction, relational match propagation, multiple questions
+// selection and error-tolerant truth inference — against a crowdsourcing
+// platform (simulated or custom):
+//
+//	ds := remp.Dataset{K1: kb1, K2: kb2}
+//	platform := remp.NewSimulatedCrowd(gold.IsMatch, remp.CrowdConfig{})
+//	result, err := remp.Resolve(ds, platform, remp.Options{})
+//
+// Lower-level building blocks (blocking, attribute matching, pruning,
+// propagation, question selection) live in the internal packages and are
+// surfaced through the Pipeline type for step-by-step inspection.
+package remp
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/selection"
+)
+
+// KB re-exports the knowledge-base type; construct with NewKB.
+type KB = kb.KB
+
+// EntityID identifies an entity within one KB.
+type EntityID = kb.EntityID
+
+// Pair is an entity pair (u1 ∈ K1, u2 ∈ K2).
+type Pair = pair.Pair
+
+// Gold is a reference alignment used for evaluation and simulated crowds.
+type Gold = pair.Gold
+
+// PRF bundles precision / recall / F1.
+type PRF = pair.PRF
+
+// NewKB returns an empty knowledge base with the given name.
+func NewKB(name string) *KB { return kb.New(name) }
+
+// NewGold builds a gold standard from true matches.
+func NewGold(matches []Pair) *Gold { return pair.NewGold(matches) }
+
+// Evaluate scores a predicted match set against a gold standard.
+func Evaluate(predicted map[Pair]struct{}, gold *Gold) PRF {
+	return pair.Evaluate(pair.Set(predicted), gold)
+}
+
+// Dataset is a pair of knowledge bases to resolve.
+type Dataset struct {
+	K1 *KB
+	K2 *KB
+}
+
+// Options mirrors the paper's tunables; zero values become the paper's
+// uniform settings (k=4, τ=0.9, µ=10, label-similarity threshold 0.3).
+type Options struct {
+	// K bounds partial-order pruning to ~k counterpart candidates/entity.
+	K int
+	// Tau is the precision threshold for propagated matches.
+	Tau float64
+	// Mu is the number of questions per human-machine loop.
+	Mu int
+	// LabelSimThreshold prunes candidate pairs below this label Jaccard.
+	LabelSimThreshold float64
+	// Budget caps the number of crowd questions (0 = unlimited).
+	Budget int
+	// MaxLoops caps human-machine loops (0 = unlimited).
+	MaxLoops int
+	// Strategy selects questions: "greedy" (default, Algorithm 3),
+	// "maxinf" or "maxpr".
+	Strategy string
+	// DisableIsolatedClassifier turns off the §VII-B random forest.
+	DisableIsolatedClassifier bool
+	// Seed drives the pipeline's randomized components.
+	Seed int64
+}
+
+// Asker abstracts a crowdsourcing platform.
+type Asker = core.Asker
+
+// CrowdConfig configures the simulated crowd (see crowd.Config).
+type CrowdConfig struct {
+	NumWorkers         int
+	WorkersPerQuestion int
+	// ErrorRate > 0 gives every worker quality 1−ErrorRate; otherwise
+	// worker quality is drawn from [QualityLow, QualityHigh].
+	ErrorRate               float64
+	QualityLow, QualityHigh float64
+	Seed                    int64
+}
+
+// NewSimulatedCrowd builds a simulated crowdsourcing platform answering
+// from the given truth oracle.
+func NewSimulatedCrowd(oracle func(Pair) bool, cfg CrowdConfig) Asker {
+	return crowd.NewPlatform(oracle, crowd.Config{
+		NumWorkers:         cfg.NumWorkers,
+		WorkersPerQuestion: cfg.WorkersPerQuestion,
+		ErrorRate:          cfg.ErrorRate,
+		QualityLow:         cfg.QualityLow,
+		QualityHigh:        cfg.QualityHigh,
+		Seed:               cfg.Seed,
+	})
+}
+
+// NewOracleCrowd builds a perfect single-worker platform (ground-truth
+// labels), matching the paper's internal-evaluation setup.
+func NewOracleCrowd(oracle func(Pair) bool) Asker {
+	return core.NewOracleAsker(oracle)
+}
+
+// Result is the outcome of a Resolve run.
+type Result struct {
+	// Matches is the final match set.
+	Matches map[Pair]struct{}
+	// Confirmed, Propagated and IsolatedPredicted split Matches by origin:
+	// worker-labeled, graph-inferred, and classifier-predicted.
+	Confirmed         map[Pair]struct{}
+	Propagated        map[Pair]struct{}
+	IsolatedPredicted map[Pair]struct{}
+	// Questions is the number of distinct questions asked.
+	Questions int
+	// Loops is the number of human-machine loops executed.
+	Loops int
+}
+
+// ErrNilInput is returned when a KB or the asker is missing.
+var ErrNilInput = errors.New("remp: nil knowledge base or asker")
+
+// Resolve runs the full Remp pipeline on the dataset against the asker.
+func Resolve(ds Dataset, asker Asker, opts Options) (*Result, error) {
+	p, err := NewPipeline(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(asker)
+}
+
+// Pipeline exposes the prepared pipeline for step-by-step use: stage-1
+// artifacts are computed by NewPipeline; Run executes the human–machine
+// loop.
+type Pipeline struct {
+	prepared *core.Prepared
+}
+
+// NewPipeline runs ER graph construction (stage 1) and propagation
+// modeling (stage 2), returning a pipeline ready to ask questions.
+func NewPipeline(ds Dataset, opts Options) (*Pipeline, error) {
+	if ds.K1 == nil || ds.K2 == nil {
+		return nil, ErrNilInput
+	}
+	cfg := core.DefaultConfig()
+	if opts.K > 0 {
+		cfg.K = opts.K
+	}
+	if opts.Tau > 0 {
+		cfg.Tau = opts.Tau
+	}
+	if opts.Mu > 0 {
+		cfg.Mu = opts.Mu
+	}
+	if opts.LabelSimThreshold > 0 {
+		cfg.LabelSimThreshold = opts.LabelSimThreshold
+	}
+	cfg.Budget = opts.Budget
+	cfg.MaxLoops = opts.MaxLoops
+	cfg.ClassifyIsolated = !opts.DisableIsolatedClassifier
+	cfg.Seed = opts.Seed
+	switch opts.Strategy {
+	case "", "greedy":
+		cfg.Strategy = selection.Greedy{}
+	case "maxinf":
+		cfg.Strategy = selection.MaxInf{}
+	case "maxpr":
+		cfg.Strategy = selection.MaxPr{}
+	default:
+		return nil, errors.New("remp: unknown strategy " + opts.Strategy)
+	}
+	return &Pipeline{prepared: core.Prepare(ds.K1, ds.K2, cfg)}, nil
+}
+
+// Run executes the human–machine loop.
+func (p *Pipeline) Run(asker Asker) (*Result, error) {
+	if asker == nil {
+		return nil, ErrNilInput
+	}
+	res := p.prepared.Run(asker)
+	return &Result{
+		Matches:           res.Matches,
+		Confirmed:         res.Confirmed,
+		Propagated:        res.Propagated,
+		IsolatedPredicted: res.IsolatedPredicted,
+		Questions:         res.Questions,
+		Loops:             res.Loops,
+	}, nil
+}
+
+// CandidatePairs returns the retained entity pairs (the ER graph's
+// vertices) after blocking and partial-order pruning.
+func (p *Pipeline) CandidatePairs() []Pair {
+	return append([]Pair(nil), p.prepared.Retained...)
+}
+
+// GraphStats reports the ER graph's size.
+func (p *Pipeline) GraphStats() (vertices, edges int) {
+	return p.prepared.Graph.NumVertices(), p.prepared.Graph.NumEdges()
+}
+
+// PropagateFromSeeds runs propagation-only resolution from known seed
+// matches (no crowdsourcing), as in the paper's Table VI.
+func (p *Pipeline) PropagateFromSeeds(seeds []Pair) map[Pair]struct{} {
+	return p.prepared.PropagateFromSeeds(seeds)
+}

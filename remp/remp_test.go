@@ -1,0 +1,115 @@
+package remp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/remp"
+)
+
+// tinyWorld builds a pair of small KBs with an obvious alignment.
+func tinyWorld() (remp.Dataset, *remp.Gold) {
+	k1 := remp.NewKB("left")
+	k2 := remp.NewKB("right")
+	name1 := k1.AddAttr("name")
+	name2 := k2.AddAttr("title")
+	r1 := k1.AddRel("wrote")
+	r2 := k2.AddRel("author")
+
+	var gold []remp.Pair
+	for i := 0; i < 8; i++ {
+		a1 := k1.AddEntity(fmt.Sprintf("l:author%d", i))
+		a2 := k2.AddEntity(fmt.Sprintf("r:author%d", i))
+		label := fmt.Sprintf("author number %d", i)
+		k1.SetLabel(a1, label)
+		k2.SetLabel(a2, label)
+		k1.AddAttrTriple(a1, name1, label)
+		k2.AddAttrTriple(a2, name2, label)
+		gold = append(gold, remp.Pair{U1: a1, U2: a2})
+
+		b1 := k1.AddEntity(fmt.Sprintf("l:book%d", i))
+		b2 := k2.AddEntity(fmt.Sprintf("r:book%d", i))
+		bl := fmt.Sprintf("famous book %d", i)
+		k1.SetLabel(b1, bl)
+		k2.SetLabel(b2, bl)
+		k1.AddAttrTriple(b1, name1, bl)
+		k2.AddAttrTriple(b2, name2, bl)
+		k1.AddRelTriple(a1, r1, b1)
+		k2.AddRelTriple(a2, r2, b2)
+		gold = append(gold, remp.Pair{U1: b1, U2: b2})
+	}
+	return remp.Dataset{K1: k1, K2: k2}, remp.NewGold(gold)
+}
+
+func TestResolveEndToEnd(t *testing.T) {
+	ds, gold := tinyWorld()
+	asker := remp.NewOracleCrowd(gold.IsMatch)
+	res, err := remp.Resolve(ds, asker, remp.Options{Mu: 2})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	m := remp.Evaluate(res.Matches, gold)
+	if m.F1 < 0.9 {
+		t.Errorf("F1 = %v (P=%v R=%v, Q=%d)", m.F1, m.Precision, m.Recall, res.Questions)
+	}
+	if len(res.Propagated) == 0 {
+		t.Error("no matches were inferred through the ER graph")
+	}
+	if len(res.Confirmed) >= gold.Size() {
+		t.Errorf("every match was worker-confirmed (%d for %d gold) — propagation did nothing",
+			len(res.Confirmed), gold.Size())
+	}
+}
+
+func TestResolveWithSimulatedCrowd(t *testing.T) {
+	ds, gold := tinyWorld()
+	asker := remp.NewSimulatedCrowd(gold.IsMatch, remp.CrowdConfig{ErrorRate: 0.1, Seed: 5})
+	res, err := remp.Resolve(ds, asker, remp.Options{})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if remp.Evaluate(res.Matches, gold).F1 < 0.8 {
+		t.Errorf("noisy crowd F1 too low")
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	ds, gold := tinyWorld()
+	if _, err := remp.Resolve(remp.Dataset{}, remp.NewOracleCrowd(gold.IsMatch), remp.Options{}); err == nil {
+		t.Error("nil KBs accepted")
+	}
+	if _, err := remp.Resolve(ds, nil, remp.Options{}); err == nil {
+		t.Error("nil asker accepted")
+	}
+	if _, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), remp.Options{Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestPipelineIntrospection(t *testing.T) {
+	ds, _ := tinyWorld()
+	p, err := remp.NewPipeline(ds, remp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CandidatePairs()) == 0 {
+		t.Error("no candidate pairs")
+	}
+	v, e := p.GraphStats()
+	if v == 0 || e == 0 {
+		t.Errorf("graph stats %d/%d", v, e)
+	}
+}
+
+func TestPropagateFromSeedsAPI(t *testing.T) {
+	ds, gold := tinyWorld()
+	p, err := remp.NewPipeline(ds, remp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := gold.Matches()[:4]
+	matches := p.PropagateFromSeeds(seeds)
+	if len(matches) < len(seeds) {
+		t.Errorf("propagation lost seeds: %d < %d", len(matches), len(seeds))
+	}
+}
