@@ -7,6 +7,9 @@
 package core
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/crowd"
 	"repro/internal/pair"
 	"repro/internal/selection"
@@ -61,6 +64,10 @@ type Config struct {
 	// dominance — a pair dominating a confirmed match becomes a match, a
 	// pair dominated by a confirmed non-match becomes a non-match.
 	Hybrid bool
+	// debugFullResync degrades the incremental propagation engine to a
+	// full rebuild at the top of every loop — the historical recompute
+	// policy — so tests can assert the incremental results are identical.
+	debugFullResync bool
 }
 
 // DefaultConfig returns the paper's settings.
@@ -80,11 +87,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration is usable, with a
+// descriptive error for the first offending field. It is the boundary
+// check that replaces the silent τ coercion that used to live deep inside
+// propagation's zetaOf: a zero Tau still selects the paper's default via
+// fill, but an explicitly invalid one is rejected here.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Tau) || c.Tau < 0 || c.Tau > 1 {
+		return fmt.Errorf("core: Tau = %v out of range: the precision threshold τ must lie in (0, 1] (0 selects the default 0.9)", c.Tau)
+	}
+	return nil
+}
+
 func (c *Config) fill() {
 	if c.K <= 0 {
 		c.K = 4
 	}
-	if c.Tau <= 0 || c.Tau > 1 {
+	if c.Tau == 0 {
 		c.Tau = 0.9
 	}
 	if c.Mu <= 0 {

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/pair"
+import (
+	"repro/internal/pair"
+	"repro/internal/propagation"
+)
 
 // monotoneInference implements the hybrid extension the paper sketches as
 // future work (§IX): partial-order inference is layered on top of
@@ -11,7 +14,7 @@ import "repro/internal/pair"
 // competitor blocks (the same locality restriction that keeps the partial
 // order's error rate near-perfect in Table V), and newly inferred matches
 // respect the 1:1 constraint.
-func (p *Prepared) monotoneInference(res *Result) {
+func (p *Prepared) monotoneInference(res *Result, eng *propagation.Engine) {
 	if res.Confirmed.Len() == 0 && res.NonMatches.Len() == 0 {
 		return
 	}
@@ -31,10 +34,10 @@ func (p *Prepared) monotoneInference(res *Result) {
 				wv := p.Pruner.VectorOf(w)
 				switch {
 				case res.Confirmed.Has(w) && vec.StrictlyDominates(wv):
-					p.acceptMonotone(v, res)
+					p.acceptMonotone(v, res, eng)
 				case res.NonMatches.Has(w) && wv.StrictlyDominates(vec):
 					res.NonMatches.Add(v)
-					p.detachVertex(v)
+					eng.DetachVertex(v)
 				}
 				if res.Matches.Has(v) || res.NonMatches.Has(v) {
 					break
@@ -49,8 +52,8 @@ func (p *Prepared) monotoneInference(res *Result) {
 
 // acceptMonotone records a monotone-inferred match under the 1:1
 // constraint; its provenance counts as propagation for reporting.
-func (p *Prepared) acceptMonotone(v pair.Pair, res *Result) {
+func (p *Prepared) acceptMonotone(v pair.Pair, res *Result, eng *propagation.Engine) {
 	res.Propagated.Add(v)
 	res.Matches.Add(v)
-	p.resolveCompetitors(v, res)
+	p.resolveCompetitors(v, res, eng)
 }

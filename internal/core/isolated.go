@@ -7,7 +7,6 @@ import (
 	"repro/internal/forest"
 	"repro/internal/kb"
 	"repro/internal/pair"
-	"repro/internal/strsim"
 )
 
 // classifyIsolated implements §VII-B: isolated entity pairs (no incident
@@ -166,15 +165,18 @@ func jaccardInts(a, b []int) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	as := make([]string, len(a))
-	for i, x := range a {
-		as[i] = fmt.Sprint(x)
+	seen := make(map[int]uint8, len(a)+len(b))
+	for _, x := range a {
+		seen[x] |= 1
 	}
-	bs := make([]string, len(b))
-	for i, x := range b {
-		bs[i] = fmt.Sprint(x)
+	for _, x := range b {
+		seen[x] |= 2
 	}
-	sort.Strings(as)
-	sort.Strings(bs)
-	return strsim.Jaccard(as, bs)
+	inter := 0
+	for _, m := range seen {
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(seen))
 }

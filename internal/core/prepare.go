@@ -33,6 +33,12 @@ type Prepared struct {
 	// 1:1 entity constraint that keeps non-match chains from being polled).
 	byEntity1 map[kb.EntityID][]int
 	byEntity2 map[kb.EntityID][]int
+
+	// runRecomputes is the number of single-source Dijkstra runs the most
+	// recent Run performed, kept for diagnostics and the tests that assert
+	// only dirty sources are recomputed. The engine itself is not retained
+	// past the run, so its ball maps can be collected.
+	runRecomputes int64
 }
 
 // Prepare runs ER graph construction end to end: candidate generation,
@@ -41,6 +47,11 @@ type Prepared struct {
 // consistency fitting and neighbor propagation (the probabilistic graph).
 func Prepare(k1, k2 *kb.KB, cfg Config) *Prepared {
 	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		// Internal misuse: the public remp boundary returns this error to
+		// the caller before ever reaching Prepare.
+		panic(err)
+	}
 	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
 
 	p.Blocking = blocking.Generate(k1, k2, blocking.Options{Threshold: cfg.LabelSimThreshold})
@@ -84,6 +95,9 @@ func Prepare(k1, k2 *kb.KB, cfg Config) *Prepared {
 // of Mrd.
 func PrepareOnRetained(k1, k2 *kb.KB, cfg Config, retained []pair.Pair, blk *blocking.Result) *Prepared {
 	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
 	p.Blocking = blk
 

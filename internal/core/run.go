@@ -33,6 +33,15 @@ type Result struct {
 // final result. It terminates when no unresolved pair can be inferred by
 // relational match propagation (the paper's stop criterion), when the
 // question budget is exhausted, or when MaxLoops is reached.
+//
+// Bounded-distance inference is owned by an incremental
+// propagation.Engine: resolving a pair invalidates only the sources whose
+// ζ-balls the pair participates in, and the Sync at the top of each loop
+// recomputes just those, instead of the full InferAll re-run the loop used
+// to pay whenever an edge changed. Re-estimation rebuilds the whole
+// probabilistic graph, so it resets the engine for a parallel full
+// rebuild. Each batch of µ questions is resolved against the snapshot
+// taken at the loop top, exactly as before.
 func (p *Prepared) Run(asker Asker) *Result {
 	cfg := p.Cfg
 	res := &Result{
@@ -52,18 +61,22 @@ func (p *Prepared) Run(asker Asker) *Result {
 	// reflects §VII-A).
 	hard := pair.Set{}
 
-	inferred := p.Prob.InferAll(cfg.Tau)
-	edgesDirty := false
+	eng := propagation.NewEngine(p.Prob, cfg.Tau)
+	// Record the Dijkstra count without retaining the engine (and its
+	// O(sum of ball sizes) maps) past the run.
+	defer func() { p.runRecomputes = eng.Recomputes() }()
 
 	for {
 		if cfg.MaxLoops > 0 && res.Loops >= cfg.MaxLoops {
 			break
 		}
-		if edgesDirty {
-			inferred = p.Prob.InferAll(cfg.Tau)
-			edgesDirty = false
+		if cfg.debugFullResync {
+			// Test hook: degrade to the historical recompute-everything
+			// policy so equivalence tests can diff the results.
+			eng.InvalidateAll()
 		}
-		cands, anyPropagation := p.questionCandidates(res, priors, inferred, hard)
+		eng.Sync()
+		cands, anyPropagation := p.questionCandidates(res, priors, eng, hard)
 		if len(cands) == 0 || (!anyPropagation && !cfg.ExhaustBudget) {
 			break
 		}
@@ -92,12 +105,10 @@ func (p *Prepared) Run(asker Asker) *Result {
 			inf := crowd.Infer(priors[q], labels, cfg.Thresholds)
 			switch inf.Verdict {
 			case crowd.IsMatch:
-				p.confirmMatch(q, res, inferred)
-				edgesDirty = true
+				p.confirmMatch(q, res, eng)
 			case crowd.IsNonMatch:
 				res.NonMatches.Add(q)
-				p.detachVertex(q)
-				edgesDirty = true
+				eng.DetachVertex(q)
 			default:
 				// Hard question: damp its prior so its benefit shrinks.
 				priors[q] = inf.Posterior
@@ -111,11 +122,11 @@ func (p *Prepared) Run(asker Asker) *Result {
 			}
 		}
 		if cfg.Hybrid {
-			p.monotoneInference(res)
+			p.monotoneInference(res, eng)
 		}
 		if cfg.Reestimate && res.Confirmed.Len() > 0 {
 			p.reestimate(res)
-			edgesDirty = true
+			eng.Reset(p.Prob)
 		}
 		if cfg.Budget > 0 && res.Questions >= cfg.Budget {
 			break
@@ -158,8 +169,10 @@ func padBatch(cands []selection.Candidate, chosen []int, mu int) []int {
 
 // questionCandidates assembles the candidate question list over the
 // unresolved vertices. anyPropagation reports whether some question can
-// still infer a pair other than itself — the loop's stop signal.
-func (p *Prepared) questionCandidates(res *Result, priors map[pair.Pair]float64, inferred *propagation.Inferred, hard pair.Set) ([]selection.Candidate, bool) {
+// still infer a pair other than itself — the loop's stop signal. Inferred
+// index lists are sorted so the whole run is deterministic (benefit sums
+// are order-sensitive in floating point).
+func (p *Prepared) questionCandidates(res *Result, priors map[pair.Pair]float64, eng *propagation.Engine, hard pair.Set) ([]selection.Candidate, bool) {
 	resolved := func(q pair.Pair) bool {
 		return res.Matches.Has(q) || res.NonMatches.Has(q)
 	}
@@ -170,8 +183,10 @@ func (p *Prepared) questionCandidates(res *Result, priors map[pair.Pair]float64,
 		if resolved(v) || hard.Has(v) {
 			continue
 		}
-		inf := []int{i} // a match label always resolves the question itself
-		for j := range inferred.SetIndexes(i) {
+		keys := eng.SortedSetIndexes(i)
+		inf := make([]int, 1, len(keys)+1)
+		inf[0] = i // a match label always resolves the question itself
+		for _, j := range keys {
 			if !resolved(verts[j]) {
 				inf = append(inf, j)
 			}
@@ -190,17 +205,17 @@ func (p *Prepared) questionCandidates(res *Result, priors map[pair.Pair]float64,
 // lets the most probable pair of an entity win. Competitor vertices
 // sharing an entity with a new match are resolved as non-matches and
 // detached (the "re-estimate edges with new matches and non-matches" step
-// of §VII-A).
-func (p *Prepared) confirmMatch(q pair.Pair, res *Result, inferred *propagation.Inferred) {
+// of §VII-A). Propagation reads the engine's last-Sync snapshot.
+func (p *Prepared) confirmMatch(q pair.Pair, res *Result, eng *propagation.Engine) {
 	res.Confirmed.Add(q)
 	res.Matches.Add(q)
-	p.resolveCompetitors(q, res)
+	p.resolveCompetitors(q, res, eng)
 	qi := p.Graph.IndexOf(q)
 	if qi < 0 {
 		return
 	}
 	verts := p.Graph.Vertices()
-	set := inferred.SetIndexes(qi)
+	set := eng.SetIndexes(qi)
 	order := make([]int, 0, len(set))
 	for j := range set {
 		order = append(order, j)
@@ -218,13 +233,13 @@ func (p *Prepared) confirmMatch(q pair.Pair, res *Result, inferred *propagation.
 		}
 		res.Propagated.Add(pj)
 		res.Matches.Add(pj)
-		p.resolveCompetitors(pj, res)
+		p.resolveCompetitors(pj, res, eng)
 	}
 }
 
 // resolveCompetitors marks every unresolved vertex sharing an entity with
 // the match m as a non-match and detaches it from the propagation fabric.
-func (p *Prepared) resolveCompetitors(m pair.Pair, res *Result) {
+func (p *Prepared) resolveCompetitors(m pair.Pair, res *Result, eng *propagation.Engine) {
 	verts := p.Graph.Vertices()
 	for _, side := range [][]int{p.byEntity1[m.U1], p.byEntity2[m.U2]} {
 		for _, i := range side {
@@ -233,13 +248,15 @@ func (p *Prepared) resolveCompetitors(m pair.Pair, res *Result) {
 				continue
 			}
 			res.NonMatches.Add(v)
-			p.detachVertex(v)
+			eng.DetachVertex(v)
 		}
 	}
 }
 
-// detachVertex removes a resolved non-match from the propagation fabric:
-// it can neither be inferred nor relay inference.
+// detachVertex removes a resolved non-match from the propagation fabric
+// directly, without engine bookkeeping. It is only for contexts where the
+// engine is about to be fully rebuilt (re-estimation) or absent; inside
+// the loop, use Engine.DetachVertex so invalidation is tracked.
 func (p *Prepared) detachVertex(q pair.Pair) {
 	for _, e := range p.Graph.Out(q) {
 		p.Prob.SetProb(q, e.To, 0)
@@ -251,7 +268,8 @@ func (p *Prepared) detachVertex(q pair.Pair) {
 
 // reestimate re-fits consistency from the enlarged seed set (initial
 // matches plus confirmed and propagated matches) and rebuilds the edge
-// probabilities, keeping detached vertices detached (§VII-A).
+// probabilities, keeping detached vertices detached (§VII-A). The caller
+// must Reset the engine onto the rebuilt graph afterwards.
 func (p *Prepared) reestimate(res *Result) {
 	seeds := make([]pair.Pair, 0, len(p.Blocking.Initial)+res.Matches.Len())
 	seen := pair.Set{}

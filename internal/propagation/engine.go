@@ -1,0 +1,279 @@
+package propagation
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/pair"
+)
+
+// Engine maintains the bounded-distance maps of Algorithm 2 incrementally
+// across the human–machine loop. The full InferAll recompute that the loop
+// used to pay on every edge mutation is replaced by dirty-source tracking:
+// the reverse map rev[p] names precisely the sources whose ζ-balls contain
+// a vertex p, so when edges incident to p are removed (a confirmed match's
+// competitors being detached, a worker-labeled non-match), only those
+// sources plus p itself can change and only they are re-run. Re-estimation
+// replaces the whole probabilistic graph, so it triggers a parallel full
+// rebuild instead.
+//
+// The incremental step is exact for removal-only batches: any ζ-bounded
+// path of a source q that uses an edge incident to a touched vertex p
+// reaches p within ζ on a prefix of that path, so q ∈ rev[p] as of the
+// last Sync (removals only shrink balls, so the stale rev is a superset of
+// the true one). Every other source keeps all of its shortest paths and
+// gains none, hence its map is bitwise unchanged. Strengthened or added
+// edges can pull new vertices into arbitrary balls, so SetProb falls back
+// to a full rebuild for them; the pipeline only strengthens edges via
+// re-estimation, which rebuilds anyway.
+//
+// Mutators (DetachVertex, SetProb, Reset, InvalidateAll) only record
+// invalidations; Sync applies them, fanning one bounded Dijkstra per dirty
+// source across GOMAXPROCS goroutines. Readers (Set, SetIndexes, Prob)
+// deliberately serve the maps as of the last Sync: the loop resolves each
+// batch of µ questions against one snapshot (the paper's semantics), then
+// Syncs at the top of the next loop.
+//
+// An Engine is not safe for concurrent use; Sync's internal workers are
+// the only concurrency it owns.
+type Engine struct {
+	pg   *ProbGraph
+	tau  float64
+	zeta float64
+	// dist and rev mirror Inferred: dist[q][p] = bounded distance bt(q),
+	// rev[p][q] its inverse index bt⁻¹(p).
+	dist []map[int]float64
+	rev  []map[int]float64
+	// sorted memoizes the ascending key order of dist[q] (nil = stale);
+	// Sync drops the entries of recomputed sources, so clean sources keep
+	// their slice across loops instead of re-sorting every ball per loop.
+	sorted [][]int
+
+	dirty map[int]struct{} // source indexes queued for recompute
+	full  bool             // pending whole-graph rebuild
+
+	recomputes atomic.Int64 // single-source Dijkstra runs, for tests/benchmarks
+}
+
+// NewEngine builds the engine and computes the initial maps with a
+// parallel InferAll. τ must be pre-validated (see zetaOf).
+func NewEngine(pg *ProbGraph, tau float64) *Engine {
+	e := &Engine{
+		pg:    pg,
+		tau:   tau,
+		zeta:  zetaOf(tau),
+		dirty: make(map[int]struct{}),
+		full:  true,
+	}
+	e.Sync()
+	return e
+}
+
+// Zeta returns the distance bound −log τ.
+func (e *Engine) Zeta() float64 { return e.zeta }
+
+// Tau returns the precision threshold the engine was built with.
+func (e *Engine) Tau() float64 { return e.tau }
+
+// Graph returns the probabilistic graph the engine currently maintains.
+func (e *Engine) Graph() *ProbGraph { return e.pg }
+
+// Recomputes returns the number of single-source Dijkstra runs performed
+// so far (including the initial build); tests use it to assert that only
+// dirty sources are recomputed.
+func (e *Engine) Recomputes() int64 { return e.recomputes.Load() }
+
+// PendingSources returns how many sources the next Sync will recompute,
+// accounting for the bulk-rebuild fallback.
+func (e *Engine) PendingSources() int {
+	if e.full || (len(e.dirty) > 0 && e.bulkFallback()) {
+		return e.pg.g.NumVertices()
+	}
+	return len(e.dirty)
+}
+
+// bulkFallback reports whether so many sources are dirty that Sync will
+// recompute everything in bulk instead of incrementally.
+func (e *Engine) bulkFallback() bool {
+	return 2*len(e.dirty) >= len(e.dist)
+}
+
+// BallSize returns |bt⁻¹(q)|, the number of sources whose ζ-ball contains
+// q as of the last Sync (excluding q itself).
+func (e *Engine) BallSize(q pair.Pair) int {
+	i := e.pg.g.IndexOf(q)
+	if i < 0 {
+		return 0
+	}
+	return len(e.rev[i])
+}
+
+// DetachVertex removes every edge incident to q from the probabilistic
+// graph — q can neither be inferred nor relay inference — and invalidates
+// exactly the sources whose balls contained q.
+func (e *Engine) DetachVertex(q pair.Pair) {
+	i := e.pg.g.IndexOf(q)
+	if i < 0 {
+		return
+	}
+	if len(e.pg.out[i]) == 0 && len(e.pg.in[i]) == 0 {
+		return // already detached: nothing can have changed
+	}
+	e.markBallDirty(i)
+	for j := range e.pg.out[i] {
+		delete(e.pg.in[j], i)
+	}
+	clear(e.pg.out[i])
+	for j := range e.pg.in[i] {
+		delete(e.pg.out[j], i)
+	}
+	clear(e.pg.in[i])
+}
+
+// SetProb overrides one edge probability. Weakened or removed edges
+// invalidate the ball of the edge's tail; strengthened or added edges
+// schedule a full rebuild (see the type comment for why).
+func (e *Engine) SetProb(from, to pair.Pair, p float64) {
+	i := e.pg.g.IndexOf(from)
+	j := e.pg.g.IndexOf(to)
+	if i < 0 || j < 0 || i == j {
+		return
+	}
+	old := e.pg.out[i][j]
+	switch {
+	case p > old:
+		e.full = true
+	case p < old:
+		e.markBallDirty(i)
+	default:
+		return
+	}
+	e.pg.SetProb(from, to, p)
+}
+
+// Reset swaps in a freshly rebuilt probabilistic graph (re-estimation) and
+// schedules a parallel full rebuild.
+func (e *Engine) Reset(pg *ProbGraph) {
+	e.pg = pg
+	e.InvalidateAll()
+}
+
+// InvalidateAll schedules a whole-graph rebuild at the next Sync.
+func (e *Engine) InvalidateAll() {
+	e.full = true
+	clear(e.dirty)
+}
+
+// markBallDirty queues vertex i and every source whose ball contained it
+// at the last Sync.
+func (e *Engine) markBallDirty(i int) {
+	if e.full {
+		return
+	}
+	e.dirty[i] = struct{}{}
+	for q := range e.rev[i] {
+		e.dirty[q] = struct{}{}
+	}
+}
+
+// Sync brings the maps up to date: a pending full rebuild recomputes every
+// source, otherwise only the dirty sources are re-run, all fanned across
+// GOMAXPROCS goroutines. A clean engine returns immediately.
+func (e *Engine) Sync() {
+	if e.full {
+		e.rebuild()
+		e.full = false
+		clear(e.dirty)
+		return
+	}
+	if len(e.dirty) == 0 {
+		return
+	}
+	// When most sources are dirty — a hub vertex of a dense component was
+	// touched — recomputing them one by one costs more than a bulk rebuild,
+	// which also skips the stale-entry deletions below. Fall back; the
+	// rebuild is exact, only the work strategy changes.
+	if e.bulkFallback() {
+		e.rebuild()
+		clear(e.dirty)
+		return
+	}
+	srcs := make([]int, 0, len(e.dirty))
+	for i := range e.dirty {
+		srcs = append(srcs, i)
+	}
+	sort.Ints(srcs)
+	// Drop the stale forward entries from the reverse index before the
+	// parallel phase; reinstalling happens serially afterwards because
+	// distinct sources share rev buckets.
+	for _, i := range srcs {
+		for j := range e.dist[i] {
+			delete(e.rev[j], i)
+		}
+	}
+	results := make([]map[int]float64, len(srcs))
+	e.pg.inferSources(e.zeta, srcs, results)
+	e.recomputes.Add(int64(len(srcs)))
+	for k, i := range srcs {
+		e.dist[i] = results[k]
+		e.sorted[i] = nil
+		for j, d := range results[k] {
+			e.rev[j][i] = d
+		}
+	}
+	clear(e.dirty)
+}
+
+// rebuild recomputes every source from scratch in parallel, sharing
+// InferAll's implementation and adopting its maps.
+func (e *Engine) rebuild() {
+	n := e.pg.g.NumVertices()
+	e.dist, e.rev = e.pg.computeAll(e.zeta)
+	e.sorted = make([][]int, n)
+	e.recomputes.Add(int64(n))
+}
+
+// SetIndexes returns inferred(q) as vertex indexes (q excluded), as of the
+// last Sync. The returned map is the engine's own; callers must not
+// mutate it.
+func (e *Engine) SetIndexes(q int) map[int]float64 { return e.dist[q] }
+
+// SortedSetIndexes returns inferred(q) as ascending vertex indexes, as of
+// the last Sync. The slice is memoized per source and survives across
+// Syncs for sources that were not recomputed, so per-loop consumers don't
+// re-sort unchanged balls. Callers must not mutate it.
+func (e *Engine) SortedSetIndexes(q int) []int {
+	if e.sorted[q] == nil {
+		keys := make([]int, 0, len(e.dist[q]))
+		for j := range e.dist[q] {
+			keys = append(keys, j)
+		}
+		sort.Ints(keys)
+		e.sorted[q] = keys
+	}
+	return e.sorted[q]
+}
+
+// Inferred snapshots the engine's current maps as an immutable Inferred
+// value (deep copy), mainly for diagnostics and tests.
+func (e *Engine) Inferred() *Inferred {
+	inf := &Inferred{
+		pg:   e.pg,
+		zeta: e.zeta,
+		dist: make([]map[int]float64, len(e.dist)),
+		rev:  make([]map[int]float64, len(e.rev)),
+	}
+	for i, m := range e.dist {
+		inf.dist[i] = make(map[int]float64, len(m))
+		for j, d := range m {
+			inf.dist[i][j] = d
+		}
+	}
+	for i, m := range e.rev {
+		inf.rev[i] = make(map[int]float64, len(m))
+		for j, d := range m {
+			inf.rev[i][j] = d
+		}
+	}
+	return inf
+}

@@ -1,0 +1,252 @@
+package propagation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/ergraph"
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// randomPG builds a probabilistic graph over n isolated vertex pairs with
+// random high-probability directed edges, the same construction used by
+// TestInferAllMatchesDijkstra.
+func randomPG(rng *rand.Rand, n int, density float64) (*ProbGraph, []pair.Pair) {
+	k1 := kb.New("k1")
+	k2 := kb.New("k2")
+	verts := make([]pair.Pair, n)
+	for i := 0; i < n; i++ {
+		verts[i] = pair.Pair{
+			U1: k1.AddEntity(fmt.Sprintf("a%d", i)),
+			U2: k2.AddEntity(fmt.Sprintf("b%d", i)),
+		}
+	}
+	g := ergraph.Build(k1, k2, verts)
+	pg := &ProbGraph{g: g, out: make([]map[int]float64, n), in: make([]map[int]float64, n)}
+	for i := range pg.out {
+		pg.out[i] = map[int]float64{}
+		pg.in[i] = map[int]float64{}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				p := 0.8 + 0.2*rng.Float64()
+				pg.out[i][j] = p
+				pg.in[j][i] = p
+			}
+		}
+	}
+	return pg, verts
+}
+
+// assertMatchesOracle compares the engine's maps entry-by-entry against a
+// fresh paper-faithful Floyd–Warshall run on the current graph state.
+func assertMatchesOracle(t *testing.T, e *Engine, ctx string) {
+	t.Helper()
+	want := e.Graph().InferAllFW(e.Tau())
+	n := e.Graph().g.NumVertices()
+	if len(e.dist) != n || len(e.rev) != n {
+		t.Fatalf("%s: engine sized %d/%d, graph has %d vertices", ctx, len(e.dist), len(e.rev), n)
+	}
+	for i := 0; i < n; i++ {
+		compareDistMaps(t, ctx, "dist", i, e.dist[i], want.dist[i])
+		compareDistMaps(t, ctx, "rev", i, e.rev[i], want.rev[i])
+	}
+}
+
+func compareDistMaps(t *testing.T, ctx, kind string, i int, got, want map[int]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %s[%d] has %d entries, oracle %d (got=%v want=%v)", ctx, kind, i, len(got), len(want), got, want)
+	}
+	for j, d := range want {
+		if gd, ok := got[j]; !ok || math.Abs(gd-d) > 1e-9 {
+			t.Fatalf("%s: %s[%d][%d] = %v, oracle %v", ctx, kind, i, j, got[j], d)
+		}
+	}
+}
+
+func TestNewEngineMatchesInferAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 10; iter++ {
+		n := 10 + rng.Intn(90) // crosses the parallel fan-out cutoff
+		pg, _ := randomPG(rng, n, 0.1)
+		tau := 0.7
+		e := NewEngine(pg, tau)
+		if got := e.Recomputes(); got != int64(n) {
+			t.Fatalf("initial build ran %d Dijkstras, want %d", got, n)
+		}
+		assertMatchesOracle(t, e, fmt.Sprintf("iter %d initial", iter))
+		inf := pg.InferAll(tau)
+		for i := 0; i < n; i++ {
+			compareDistMaps(t, "vs InferAll", "dist", i, e.dist[i], inf.dist[i])
+		}
+	}
+}
+
+// TestEngineRandomizedInvalidation drives the engine through arbitrary
+// sequences of detaches, edge removals, weakenings, strengthenings and
+// re-estimation resets, checking after every Sync that the maps are
+// identical to a from-scratch oracle run. This is the equivalence theorem
+// the incremental step relies on; run it with -race to also exercise the
+// parallel recompute.
+func TestEngineRandomizedInvalidation(t *testing.T) {
+	// Force the worker pool on even on single-CPU machines so -race
+	// exercises the parallel recompute path.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 12; iter++ {
+		n := 64 + rng.Intn(40) // above the fan-out cutoff so Sync parallelizes
+		pg, verts := randomPG(rng, n, 0.08)
+		tau := 0.65 + 0.25*rng.Float64()
+		e := NewEngine(pg, tau)
+		for step := 0; step < 10; step++ {
+			for ops := 1 + rng.Intn(4); ops > 0; ops-- {
+				i := rng.Intn(n)
+				j := rng.Intn(n)
+				switch rng.Intn(6) {
+				case 0, 1:
+					e.DetachVertex(verts[i])
+				case 2:
+					e.SetProb(verts[i], verts[j], 0) // remove one edge
+				case 3:
+					old := e.Graph().out[i][j]
+					e.SetProb(verts[i], verts[j], old*0.5) // weaken
+				case 4:
+					e.SetProb(verts[i], verts[j], 0.8+0.2*rng.Float64()) // add/strengthen → full rebuild
+				case 5:
+					fresh, fverts := randomPG(rng, n, 0.08)
+					verts = fverts
+					e.Reset(fresh) // re-estimation swaps the whole graph
+				}
+			}
+			e.Sync()
+			assertMatchesOracle(t, e, fmt.Sprintf("iter %d step %d", iter, step))
+		}
+	}
+}
+
+// clusteredPG builds nc disjoint functional chains of length cs — the
+// shape of real ER graphs, where connected components are entity clusters
+// far smaller than the whole graph — so a ζ-ball is one cluster.
+func clusteredPG(nc, cs int) (*ProbGraph, []pair.Pair) {
+	k1 := kb.New("k1")
+	k2 := kb.New("k2")
+	r1 := k1.AddRel("next")
+	r2 := k2.AddRel("next")
+	verts := make([]pair.Pair, 0, nc*cs)
+	for c := 0; c < nc; c++ {
+		var prev pair.Pair
+		for i := 0; i < cs; i++ {
+			v := pair.Pair{
+				U1: k1.AddEntity(fmt.Sprintf("a%d_%d", c, i)),
+				U2: k2.AddEntity(fmt.Sprintf("b%d_%d", c, i)),
+			}
+			if i > 0 {
+				k1.AddRelTriple(prev.U1, r1, v.U1)
+				k2.AddRelTriple(prev.U2, r2, v.U2)
+			}
+			verts = append(verts, v)
+			prev = v
+		}
+	}
+	g := ergraph.Build(k1, k2, verts)
+	return BuildProb(g, k1, k2, strongParams(g)), verts
+}
+
+// TestEngineRecomputesOnlyBall pins down the invalidation granularity: a
+// detach must recompute exactly the sources whose ζ-balls contained the
+// vertex, plus the vertex itself, and nothing on a second detach of the
+// same vertex.
+func TestEngineRecomputesOnlyBall(t *testing.T) {
+	pg, vs := clusteredPG(6, 8) // ball = one 8-chain ≪ n/2, no bulk fallback
+	tau := 0.8
+	e := NewEngine(pg, tau)
+	n := pg.Graph().NumVertices()
+	if e.Recomputes() != int64(n) {
+		t.Fatalf("initial build: %d recomputes, want %d", e.Recomputes(), n)
+	}
+
+	mid := vs[4]
+	ball := e.BallSize(mid)
+	if ball == 0 {
+		t.Fatalf("mid-chain vertex unexpectedly unreachable")
+	}
+	e.DetachVertex(mid)
+	if got, want := e.PendingSources(), ball+1; got != want {
+		t.Fatalf("pending sources = %d, want ball+self = %d", got, want)
+	}
+	e.Sync()
+	if got, want := e.Recomputes(), int64(n+ball+1); got != want {
+		t.Fatalf("after detach: %d recomputes, want %d", got, want)
+	}
+	assertMatchesOracle(t, e, "after detach")
+
+	// Re-detaching a detached vertex is a no-op.
+	e.DetachVertex(mid)
+	if e.PendingSources() != 0 {
+		t.Fatalf("re-detach dirtied %d sources", e.PendingSources())
+	}
+	e.Sync()
+	if got, want := e.Recomputes(), int64(n+ball+1); got != want {
+		t.Fatalf("re-detach triggered recomputes: %d, want %d", got, want)
+	}
+
+	// A strengthened edge forces a full rebuild.
+	e.SetProb(vs[0], vs[7], 0.99)
+	if got := e.PendingSources(); got != n {
+		t.Fatalf("strengthen should schedule full rebuild (%d), got %d", n, got)
+	}
+	e.Sync()
+	assertMatchesOracle(t, e, "after strengthen")
+}
+
+func TestEngineResetResizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	pg1, _ := randomPG(rng, 20, 0.15)
+	e := NewEngine(pg1, 0.8)
+	pg2, _ := randomPG(rng, 35, 0.1) // different vertex count
+	e.Reset(pg2)
+	e.Sync()
+	assertMatchesOracle(t, e, "after reset")
+}
+
+func TestEngineSnapshotIsDeepCopy(t *testing.T) {
+	g, k1, k2, vs := chainGraph(5, false)
+	pg := BuildProb(g, k1, k2, strongParams(g))
+	e := NewEngine(pg, 0.8)
+	snap := e.Inferred()
+	before := len(snap.SetIndexes(0))
+	e.DetachVertex(vs[1])
+	e.Sync()
+	if len(snap.SetIndexes(0)) != before {
+		t.Fatal("snapshot changed when the engine was mutated")
+	}
+	if snap.Zeta() != e.Zeta() {
+		t.Fatal("snapshot zeta mismatch")
+	}
+}
+
+func TestZetaOfRejectsInvalidTau(t *testing.T) {
+	for _, tau := range []float64{0, -0.3, 1.0001, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("zetaOf(%v) did not panic", tau)
+				}
+			}()
+			zetaOf(tau)
+		}()
+	}
+	// Valid boundary values must not panic.
+	if z := zetaOf(1); z < 0 || z > 1e-9 {
+		t.Errorf("zetaOf(1) = %v, want ≈ 0", z)
+	}
+	if z := zetaOf(0.9); math.Abs(z+math.Log(0.9)) > 1e-9 {
+		t.Errorf("zetaOf(0.9) = %v", z)
+	}
+}

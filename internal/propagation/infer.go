@@ -2,7 +2,11 @@ package propagation
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/pair"
 )
@@ -23,12 +27,43 @@ type Inferred struct {
 func (inf *Inferred) Zeta() float64 { return inf.zeta }
 
 // InferAll computes the bounded distance maps of Algorithm 2 by running a
-// ζ-bounded Dijkstra from every vertex. It produces exactly the same maps
-// as InferAllFW (the paper's modified Floyd–Warshall, kept for fidelity
-// and cross-checked in tests) but scales linearly rather than
-// quadratically in the per-vertex reachable-set size, which dominates on
-// the dense connected components of IIMB-like datasets.
+// ζ-bounded Dijkstra from every vertex, fanned across GOMAXPROCS
+// goroutines. It produces exactly the same maps as InferAllFW (the paper's
+// modified Floyd–Warshall, kept for fidelity and cross-checked in tests)
+// but scales linearly rather than quadratically in the per-vertex
+// reachable-set size, which dominates on the dense connected components of
+// IIMB-like datasets.
 func (pg *ProbGraph) InferAll(tau float64) *Inferred {
+	inf := &Inferred{pg: pg, zeta: zetaOf(tau)}
+	inf.dist, inf.rev = pg.computeAll(inf.zeta)
+	return inf
+}
+
+// computeAll runs the parallel per-source Dijkstra fan-out and builds the
+// reverse index; it is shared by InferAll and the Engine's full rebuild.
+func (pg *ProbGraph) computeAll(zeta float64) (dist, rev []map[int]float64) {
+	n := pg.g.NumVertices()
+	dist = make([]map[int]float64, n)
+	rev = make([]map[int]float64, n)
+	srcs := make([]int, n)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	pg.inferSources(zeta, srcs, dist)
+	for i := 0; i < n; i++ {
+		rev[i] = make(map[int]float64)
+	}
+	for i, m := range dist {
+		for j, d := range m {
+			rev[j][i] = d
+		}
+	}
+	return dist, rev
+}
+
+// inferAllSerial is the single-goroutine reference implementation of
+// InferAll, kept for benchmarking the parallel fan-out against.
+func (pg *ProbGraph) inferAllSerial(tau float64) *Inferred {
 	n := pg.g.NumVertices()
 	inf := &Inferred{
 		pg:   pg,
@@ -36,12 +71,11 @@ func (pg *ProbGraph) InferAll(tau float64) *Inferred {
 		dist: make([]map[int]float64, n),
 		rev:  make([]map[int]float64, n),
 	}
-	verts := pg.g.Vertices()
 	for i := 0; i < n; i++ {
 		inf.rev[i] = make(map[int]float64)
 	}
 	for i := 0; i < n; i++ {
-		inf.dist[i] = pg.InferFrom(verts[i], tau)
+		inf.dist[i] = pg.inferFromIndex(i, inf.zeta)
 		for j, d := range inf.dist[i] {
 			inf.rev[j][i] = d
 		}
@@ -49,12 +83,50 @@ func (pg *ProbGraph) InferAll(tau float64) *Inferred {
 	return inf
 }
 
+// minParallelSources is the fan-out cutoff: below it, goroutine startup
+// costs more than the Dijkstra work it would parallelize.
+const minParallelSources = 64
+
+// inferSources computes the ζ-bounded single-source maps for every source
+// index in srcs, writing results[k] for srcs[k]. Work is distributed over
+// GOMAXPROCS goroutines via an atomic cursor; each source's map is
+// independent, so the result is deterministic regardless of scheduling.
+func (pg *ProbGraph) inferSources(zeta float64, srcs []int, results []map[int]float64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers <= 1 || len(srcs) < minParallelSources {
+		for k, s := range srcs {
+			results[k] = pg.inferFromIndex(s, zeta)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(srcs) {
+					return
+				}
+				results[k] = pg.inferFromIndex(srcs[k], zeta)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // InferAllFW runs the modified Floyd–Warshall of Algorithm 2: per-vertex
 // bounded distance maps are seeded with single edges of length ≤ ζ and
 // relaxed through every intermediate vertex, touching only the reachable
 // sets. Because all lengths are nonnegative, any subpath of a ζ-bounded
 // path is itself ζ-bounded, so restricting the maps to entries ≤ ζ is
-// lossless.
+// lossless. It is kept as the paper-faithful oracle that the Dijkstra
+// engine is cross-checked against.
 func (pg *ProbGraph) InferAllFW(tau float64) *Inferred {
 	n := pg.g.NumVertices()
 	inf := &Inferred{
@@ -111,25 +183,30 @@ func (pg *ProbGraph) InferFrom(q pair.Pair, tau float64) map[int]float64 {
 	if src < 0 {
 		return nil
 	}
-	zeta := zetaOf(tau)
+	return pg.inferFromIndex(src, zetaOf(tau))
+}
+
+// inferFromIndex is the hot Dijkstra loop shared by InferAll, InferFrom
+// and the incremental Engine: a ζ-bounded single-source run from vertex
+// index src. Stale heap entries are skipped by comparing the popped
+// distance against the current best instead of a visited set.
+func (pg *ProbGraph) inferFromIndex(src int, zeta float64) map[int]float64 {
 	dist := map[int]float64{src: 0}
-	h := &distHeap{{src, 0}}
-	done := map[int]bool{}
+	h := make(distHeap, 1, 64)
+	h[0] = distItem{src, 0}
 	for h.Len() > 0 {
-		item := heap.Pop(h).(distItem)
-		if done[item.v] {
-			continue
+		item := heap.Pop(&h).(distItem)
+		if item.d > dist[item.v] {
+			continue // superseded entry
 		}
-		done[item.v] = true
 		for j, p := range pg.out[item.v] {
-			l := -math.Log(p)
-			d := item.d + l
+			d := item.d - math.Log(p)
 			if d > zeta {
 				continue
 			}
 			if cur, ok := dist[j]; !ok || d < cur {
 				dist[j] = d
-				heap.Push(h, distItem{j, d})
+				heap.Push(&h, distItem{j, d})
 			}
 		}
 	}
@@ -137,9 +214,14 @@ func (pg *ProbGraph) InferFrom(q pair.Pair, tau float64) map[int]float64 {
 	return dist
 }
 
+// zetaOf converts the precision threshold τ into the distance bound
+// ζ = −log τ. τ must already be validated at the API boundary
+// (core.Config.Validate / remp.Options): an out-of-range value here is a
+// programming error, not user input, so it panics instead of being
+// silently coerced.
 func zetaOf(tau float64) float64 {
-	if tau <= 0 || tau > 1 {
-		tau = 0.9
+	if math.IsNaN(tau) || tau <= 0 || tau > 1 {
+		panic(fmt.Sprintf("propagation: tau = %v out of range (0, 1]; validate at the core.Config / remp.Options boundary", tau))
 	}
 	// Tiny slack absorbs floating-point noise in summed logs.
 	return -math.Log(tau) + 1e-12
@@ -188,11 +270,11 @@ type distItem struct {
 
 type distHeap []distItem
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

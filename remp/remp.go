@@ -18,6 +18,7 @@ package remp
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
@@ -63,7 +64,9 @@ type Dataset struct {
 type Options struct {
 	// K bounds partial-order pruning to ~k counterpart candidates/entity.
 	K int
-	// Tau is the precision threshold for propagated matches.
+	// Tau is the precision threshold for propagated matches; it must lie
+	// in (0, 1] (0 selects the default 0.9), anything else is rejected by
+	// Resolve / NewPipeline with a descriptive error.
 	Tau float64
 	// Mu is the number of questions per human-machine loop.
 	Mu int
@@ -159,8 +162,11 @@ func NewPipeline(ds Dataset, opts Options) (*Pipeline, error) {
 	if opts.K > 0 {
 		cfg.K = opts.K
 	}
-	if opts.Tau > 0 {
+	if opts.Tau != 0 {
 		cfg.Tau = opts.Tau
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("remp: invalid options: %w", err)
 	}
 	if opts.Mu > 0 {
 		cfg.Mu = opts.Mu

@@ -2,6 +2,7 @@ package remp_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/remp"
@@ -83,6 +84,26 @@ func TestResolveValidation(t *testing.T) {
 	}
 	if _, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), remp.Options{Strategy: "bogus"}); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestResolveRejectsInvalidTau(t *testing.T) {
+	ds, gold := tinyWorld()
+	for _, tau := range []float64{-0.2, 1.5, 7} {
+		_, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), remp.Options{Tau: tau})
+		if err == nil {
+			t.Errorf("Tau = %v accepted; want a descriptive error", tau)
+			continue
+		}
+		if !strings.Contains(err.Error(), "Tau") {
+			t.Errorf("Tau = %v: error %q does not name the offending field", tau, err)
+		}
+	}
+	// Zero keeps the paper's default; a valid value is accepted.
+	for _, tau := range []float64{0, 0.8, 1} {
+		if _, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), remp.Options{Tau: tau}); err != nil {
+			t.Errorf("Tau = %v rejected: %v", tau, err)
+		}
 	}
 }
 
