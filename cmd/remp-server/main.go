@@ -1,0 +1,41 @@
+// Command remp-server serves resolution sessions over HTTP/JSON: create a
+// session on a dataset, poll its question batches, post crowd answers as
+// they arrive (in any order), snapshot and restore across restarts, and
+// fetch the final result with precision/recall/F1.
+//
+// Usage:
+//
+//	remp-server -addr :8080
+//
+// Create a session on a built-in dataset and answer its first question:
+//
+//	curl -s localhost:8080/v1/sessions -d '{"dataset":"iimb","seed":1,"options":{"mu":10}}'
+//	curl -s localhost:8080/v1/sessions/s1/batch
+//	curl -s localhost:8080/v1/sessions/s1/answers \
+//	     -d '{"answers":[{"id":"3-7","labels":[{"worker":0,"quality":0.97,"match":true}]}]}'
+//	curl -s localhost:8080/v1/sessions/s1/result
+//
+// See the package comment of internal/server for the full endpoint list.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("remp-server: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := server.New(logf)
+	log.Fatal(srv.ListenAndServe(*addr))
+}

@@ -6,6 +6,7 @@
 //
 //	remp -dataset iimb                         # built-in benchmark
 //	remp -dataset d-y -error-rate 0.15 -mu 20  # tuned run
+//	remp -dataset iimb -max-loops 3            # capped human-machine loops
 //	remp -kb1 a.tsv -kb2 b.tsv -gold gold.tsv  # external files
 package main
 
@@ -37,6 +38,7 @@ func main() {
 	tau := flag.Float64("tau", 0.9, "precision threshold τ for propagated matches")
 	mu := flag.Int("mu", 10, "questions per human-machine loop µ")
 	budget := flag.Int("budget", 0, "question budget (0 = unlimited)")
+	maxLoops := flag.Int("max-loops", 0, "cap on human-machine loops (0 = unlimited)")
 	errorRate := flag.Float64("error-rate", 0, "simulated worker error rate (0 = MTurk-quality pool)")
 	strategy := flag.String("strategy", "greedy", "question selection: greedy | maxinf | maxpr")
 	showMatches := flag.Bool("show-matches", false, "print the resolved matches")
@@ -51,7 +53,7 @@ func main() {
 	fmt.Printf("gold standard: %d matches\n", ds.Gold.Size())
 
 	opts := remp.Options{
-		K: *k, Tau: *tau, Mu: *mu, Budget: *budget,
+		K: *k, Tau: *tau, Mu: *mu, Budget: *budget, MaxLoops: *maxLoops,
 		Strategy: *strategy, Seed: *seed,
 	}
 	crowd := remp.NewSimulatedCrowd(ds.Gold.IsMatch, remp.CrowdConfig{

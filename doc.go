@@ -5,4 +5,18 @@
 // and experiment drivers live under internal/. The root package carries
 // the benchmark suite (bench_test.go) that regenerates every table and
 // figure of the paper's evaluation.
+//
+// The human–machine loop is asynchronous at heart — µ questions are
+// posted to a crowd platform and the answers trickle back out of order —
+// so the loop is implemented as a resumable state machine rather than a
+// blocking call: a session (remp.NewSession, internal/session) publishes
+// question batches via NextBatch, accepts answers via Deliver in any
+// order, applies them in selection order so the result is byte-identical
+// to the synchronous remp.Resolve, and snapshots its answer log as JSON
+// so it survives process restarts. A session manager runs many sessions
+// concurrently and shares answers across the sessions of one dataset, so
+// the crowd never sees the same pair twice. cmd/remp-server serves the
+// whole lifecycle — create, batch, answers, result, snapshot, restore —
+// over HTTP/JSON (internal/server), and examples/asynccrowd drives it
+// end to end.
 package repro

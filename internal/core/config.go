@@ -89,12 +89,29 @@ func DefaultConfig() Config {
 
 // Validate reports whether the configuration is usable, with a
 // descriptive error for the first offending field. It is the boundary
-// check that replaces the silent τ coercion that used to live deep inside
-// propagation's zetaOf: a zero Tau still selects the paper's default via
-// fill, but an explicitly invalid one is rejected here.
+// check that replaces the silent coercions that used to hide bad values:
+// zetaOf no longer clamps τ, and the remp boundary no longer drops
+// negative K / Mu / Budget / MaxLoops / LabelSimThreshold on the floor. A
+// zero in any of these fields still selects the paper's default via fill;
+// an explicitly invalid value is rejected here.
 func (c Config) Validate() error {
 	if math.IsNaN(c.Tau) || c.Tau < 0 || c.Tau > 1 {
 		return fmt.Errorf("core: Tau = %v out of range: the precision threshold τ must lie in (0, 1] (0 selects the default 0.9)", c.Tau)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("core: K = %d is negative: the pruning bound k must be positive (0 selects the default 4)", c.K)
+	}
+	if c.Mu < 0 {
+		return fmt.Errorf("core: Mu = %d is negative: the questions-per-loop µ must be positive (0 selects the default 10)", c.Mu)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("core: Budget = %d is negative: the question budget must be positive (0 means unlimited)", c.Budget)
+	}
+	if c.MaxLoops < 0 {
+		return fmt.Errorf("core: MaxLoops = %d is negative: the loop cap must be positive (0 means unlimited)", c.MaxLoops)
+	}
+	if math.IsNaN(c.LabelSimThreshold) || c.LabelSimThreshold < 0 || c.LabelSimThreshold > 1 {
+		return fmt.Errorf("core: LabelSimThreshold = %v out of range: the label-similarity threshold must lie in [0, 1] (0 selects the default 0.3)", c.LabelSimThreshold)
 	}
 	return nil
 }

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/crowd"
+	"repro/internal/pair"
+	"repro/internal/propagation"
+)
+
+// LoopState names the externally visible states of a Loop.
+type LoopState string
+
+// Loop states. A loop is born Awaiting (or Done, when the stop criterion
+// already holds on the prepared graph) and every transition is driven by
+// Deliver: once the open batch drains, the machine advances through the
+// batch tail (hybrid inference, re-estimation, budget check) and either
+// publishes the next batch or finishes.
+const (
+	// LoopAwaiting means a batch of questions is published and at least
+	// one answer is still outstanding.
+	LoopAwaiting LoopState = "awaiting_answers"
+	// LoopDone means the stop criterion held: the result is final.
+	LoopDone LoopState = "done"
+)
+
+// Errors returned by Loop.Deliver.
+var (
+	// ErrLoopDone is returned when answers arrive after the loop finished.
+	ErrLoopDone = errors.New("core: loop is done")
+	// ErrUnknownQuestion is returned for a pair outside the open batch.
+	ErrUnknownQuestion = errors.New("core: not an open question")
+	// ErrDuplicateAnswer is returned when an open question is answered twice.
+	ErrDuplicateAnswer = errors.New("core: question already answered")
+)
+
+// Answer is one answered question: the pair and the worker labels it
+// received. Loop.History records them in application order, which replays
+// a loop deterministically (the snapshot format of internal/session).
+type Answer struct {
+	Pair   pair.Pair
+	Labels []crowd.Label
+}
+
+// Loop is the human–machine loop of Run inverted into an explicit state
+// machine, so callers that cannot block on an Asker — crowd platforms
+// posting HITs, HTTP clients, concurrent jobs — can pull question batches
+// and push answers as they arrive, in any order.
+//
+// The machine preserves Run's semantics exactly: a batch of µ questions is
+// selected against the engine snapshot taken at the loop top; answers are
+// buffered and applied in the batch's selection order (the order Run asked
+// them), so out-of-order delivery cannot change a single resolved pair;
+// when the batch drains the loop tail runs (hybrid inference,
+// re-estimation, budget check) and the next batch is selected, until the
+// paper's stop criterion halts the loop and the isolated-pair classifier
+// finalizes the result.
+//
+// A Loop is not safe for concurrent use; internal/session.Session adds the
+// locking, stable question IDs and snapshot/restore on top.
+type Loop struct {
+	p      *Prepared
+	res    *Result
+	priors map[pair.Pair]float64
+	hard   pair.Set
+	eng    *propagation.Engine
+
+	open    []pair.Pair                 // published batch, in selection order
+	next    int                         // index into open of the next answer to apply
+	buf     map[pair.Pair][]crowd.Label // out-of-order answers awaiting their turn
+	history []Answer                    // applied answers, in application order
+	done    bool
+}
+
+// NewLoop starts the human–machine loop and advances it to its first
+// question batch (or directly to LoopDone when nothing can be asked).
+// Like Run, it mutates the Prepared's probabilistic graph; prepare one
+// Prepared per loop.
+func (p *Prepared) NewLoop() *Loop {
+	l := &Loop{
+		p: p,
+		res: &Result{
+			Matches:           pair.Set{},
+			Confirmed:         pair.Set{},
+			Propagated:        pair.Set{},
+			IsolatedPredicted: pair.Set{},
+			NonMatches:        pair.Set{},
+		},
+		priors: make(map[pair.Pair]float64, len(p.Priors)),
+		hard:   pair.Set{},
+	}
+	for k, v := range p.Priors {
+		l.priors[k] = v
+	}
+	l.eng = propagation.NewEngine(p.Prob, p.Cfg.Tau)
+	l.openBatch()
+	return l
+}
+
+// State returns the loop's current state.
+func (l *Loop) State() LoopState {
+	if l.done {
+		return LoopDone
+	}
+	return LoopAwaiting
+}
+
+// Done reports whether the loop has finished and the result is final.
+func (l *Loop) Done() bool { return l.done }
+
+// Result returns the loop's result. While the loop is awaiting answers the
+// sets are live views of the work in progress; once Done they are final.
+func (l *Loop) Result() *Result { return l.res }
+
+// Batch returns the open questions still awaiting an answer, in selection
+// order. It is empty exactly when the loop is done: the machine never
+// stalls with an open batch fully buffered, because a buffered answer
+// out of order implies an earlier question is still unanswered.
+func (l *Loop) Batch() []pair.Pair {
+	out := make([]pair.Pair, 0, len(l.open)-l.next)
+	for _, q := range l.open[l.next:] {
+		if _, buffered := l.buf[q]; !buffered {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// History returns the applied answers in application order. Replaying them
+// through a fresh Loop via Deliver reproduces this loop's state exactly;
+// the slice is the loop's own and must not be mutated.
+func (l *Loop) History() []Answer { return l.history }
+
+// Buffered returns the answers delivered out of order and not yet applied,
+// sorted by pair for determinism.
+func (l *Loop) Buffered() []Answer {
+	out := make([]Answer, 0, len(l.buf))
+	for q, labels := range l.buf {
+		out = append(out, Answer{Pair: q, Labels: labels})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pair.Less(out[j].Pair) })
+	return out
+}
+
+// Deliver accepts the worker labels for one open question, in any order.
+// Answers are applied strictly in the batch's selection order; an answer
+// arriving early is buffered until its predecessors arrive. When the
+// delivery drains the batch, the machine advances: loop tail, next batch
+// selection, and — when the stop criterion holds — finalization.
+func (l *Loop) Deliver(q pair.Pair, labels []crowd.Label) error {
+	if l.done {
+		return fmt.Errorf("%w (extra answer for %v)", ErrLoopDone, q)
+	}
+	openQ := false
+	for _, o := range l.open[l.next:] {
+		if o == q {
+			openQ = true
+			break
+		}
+	}
+	if !openQ {
+		return fmt.Errorf("%w: %v", ErrUnknownQuestion, q)
+	}
+	if _, dup := l.buf[q]; dup {
+		return fmt.Errorf("%w: %v", ErrDuplicateAnswer, q)
+	}
+	l.buf[q] = labels
+	l.drain()
+	return nil
+}
+
+// drain applies the longest in-order prefix of buffered answers and, when
+// the batch is exhausted, runs the loop tail and advances.
+func (l *Loop) drain() {
+	cfg := l.p.Cfg
+	for l.next < len(l.open) {
+		q := l.open[l.next]
+		labels, ok := l.buf[q]
+		if !ok {
+			return // an earlier question is still outstanding
+		}
+		delete(l.buf, q)
+		l.next++
+		l.apply(q, labels)
+		if cfg.Budget > 0 && l.res.Questions >= cfg.Budget {
+			// Run abandons the rest of the batch when the budget fills.
+			// Since µ is clamped to the remaining budget at selection time
+			// this is only ever the batch's last question, but replicate
+			// the abandonment so the machines cannot diverge.
+			l.open = l.open[:l.next]
+			clear(l.buf)
+			break
+		}
+	}
+	l.batchTail()
+}
+
+// apply resolves one answered question against the current snapshot — the
+// batch body of Run.
+func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
+	cfg := l.p.Cfg
+	l.history = append(l.history, Answer{Pair: q, Labels: labels})
+	l.res.Questions++
+	inf := crowd.Infer(l.priors[q], labels, cfg.Thresholds)
+	switch inf.Verdict {
+	case crowd.IsMatch:
+		l.p.confirmMatch(q, l.res, l.eng)
+	case crowd.IsNonMatch:
+		l.res.NonMatches.Add(q)
+		l.eng.DetachVertex(q)
+	default:
+		// Hard question: damp its prior so its benefit shrinks.
+		l.priors[q] = inf.Posterior
+		l.hard.Add(q)
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(l.res.Questions, l.res.Matches)
+	}
+}
+
+// batchTail runs the work Run performs after a batch of µ answers: hybrid
+// monotone inference, re-estimation and the budget stop, then advances to
+// the next batch.
+func (l *Loop) batchTail() {
+	cfg := l.p.Cfg
+	if cfg.Hybrid {
+		l.p.monotoneInference(l.res, l.eng)
+	}
+	if cfg.Reestimate && l.res.Confirmed.Len() > 0 {
+		l.p.reestimate(l.res)
+		l.eng.Reset(l.p.Prob)
+	}
+	if cfg.Budget > 0 && l.res.Questions >= cfg.Budget {
+		l.finish()
+		return
+	}
+	l.openBatch()
+}
+
+// openBatch is the loop top of Run: sync the propagation engine, assemble
+// candidates, check the stop criterion, and select + pad the next µ
+// questions. It either publishes a batch or finishes the loop.
+func (l *Loop) openBatch() {
+	cfg := l.p.Cfg
+	if cfg.MaxLoops > 0 && l.res.Loops >= cfg.MaxLoops {
+		l.finish()
+		return
+	}
+	if cfg.debugFullResync {
+		// Test hook: degrade to the historical recompute-everything policy
+		// so equivalence tests can diff the results.
+		l.eng.InvalidateAll()
+	}
+	l.eng.Sync()
+	cands, anyPropagation := l.p.questionCandidates(l.res, l.priors, l.eng, l.hard)
+	if len(cands) == 0 || (!anyPropagation && !cfg.ExhaustBudget) {
+		l.finish()
+		return
+	}
+	mu := cfg.Mu
+	if cfg.Budget > 0 && l.res.Questions+mu > cfg.Budget {
+		mu = cfg.Budget - l.res.Questions
+		if mu <= 0 {
+			l.finish()
+			return
+		}
+	}
+	chosen := cfg.Strategy.Select(cands, mu)
+	if len(chosen) < mu {
+		// Remp always issues µ questions per human-machine loop (§VIII,
+		// Table VII): pad the batch with the highest-prior unchosen
+		// candidates once marginal benefits hit zero.
+		chosen = padBatch(cands, chosen, mu)
+	}
+	if len(chosen) == 0 {
+		l.finish()
+		return
+	}
+	l.res.Loops++
+	l.open = make([]pair.Pair, len(chosen))
+	for i, ci := range chosen {
+		l.open[i] = cands[ci].Pair
+	}
+	l.next = 0
+	l.buf = make(map[pair.Pair][]crowd.Label, len(l.open))
+}
+
+// finish runs the finalization Run performs after the loop breaks, records
+// the engine's Dijkstra count and releases the engine's ball maps.
+func (l *Loop) finish() {
+	l.open = nil
+	l.buf = nil
+	l.next = 0
+	l.p.runRecomputes = l.eng.Recomputes()
+	l.eng = nil
+	if l.p.Cfg.ClassifyIsolated {
+		l.p.classifyIsolated(l.res)
+	}
+	l.done = true
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/pair"
+	"repro/internal/selection"
+)
+
+// TestPadBatchDeterministicTies pins the padding order: unchosen
+// candidates are appended by descending prior, and equal-probability ties
+// break by Pair.Less — never by input position, so a shuffled candidate
+// slice pads to the same question sequence.
+func TestPadBatchDeterministicTies(t *testing.T) {
+	cands := []selection.Candidate{
+		{Pair: pair.Pair{U1: 5, U2: 1}, Prob: 0.5},
+		{Pair: pair.Pair{U1: 1, U2: 2}, Prob: 0.5},
+		{Pair: pair.Pair{U1: 3, U2: 3}, Prob: 0.7},
+		{Pair: pair.Pair{U1: 1, U2: 1}, Prob: 0.5},
+		{Pair: pair.Pair{U1: 2, U2: 2}, Prob: 0.5},
+	}
+	got := padBatch(cands, []int{2}, 4)
+	want := []pair.Pair{
+		{U1: 3, U2: 3}, // the strategy's pick stays first
+		{U1: 1, U2: 1}, // then the 0.5-tie block in Pair.Less order
+		{U1: 1, U2: 2},
+		{U1: 2, U2: 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("padded to %d questions, want %d", len(got), len(want))
+	}
+	for i, ci := range got {
+		if cands[ci].Pair != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, cands[ci].Pair, want[i])
+		}
+	}
+
+	// Permutation invariance: the padded question sequence must not depend
+	// on candidate slice order.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]selection.Candidate(nil), cands...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var first int
+		for i, c := range shuffled {
+			if c.Pair == (pair.Pair{U1: 3, U2: 3}) {
+				first = i
+			}
+		}
+		res := padBatch(shuffled, []int{first}, 4)
+		for i, ci := range res {
+			if shuffled[ci].Pair != want[i] {
+				t.Fatalf("trial %d position %d: got %v, want %v", trial, i, shuffled[ci].Pair, want[i])
+			}
+		}
+	}
+}
+
+// contradictingAsker answers every question with two equally qualified
+// workers that disagree, so truth inference always lands exactly on the
+// prior — a crowd whose labels stay inconsistent. It counts how often
+// each pair is asked.
+type contradictingAsker struct {
+	asked map[pair.Pair]int
+}
+
+func (a *contradictingAsker) Ask(q pair.Pair) []crowd.Label {
+	a.asked[q]++
+	return []crowd.Label{
+		{Worker: crowd.Worker{ID: 0, Quality: 0.75}, IsMatch: true},
+		{Worker: crowd.Worker{ID: 1, Quality: 0.75}, IsMatch: false},
+	}
+}
+
+func (a *contradictingAsker) NumQuestions() int { return len(a.asked) }
+
+// TestHardQuestionsNotReasked exercises the damping path: a question
+// whose labels stay inconsistent — truth inference never crosses either
+// threshold — is marked hard and withheld from every later selection,
+// because re-asking cannot make progress when the platform reuses labels.
+// The loop must still terminate, with every pair asked exactly once.
+func TestHardQuestionsNotReasked(t *testing.T) {
+	k1, k2, _ := movieWorld(6, 31)
+	cfg := DefaultConfig()
+	cfg.Mu = 3
+	cfg.ClassifyIsolated = false
+	// Unreachable accept/reject posteriors keep every verdict Unresolved,
+	// whatever the pair's prior: the all-questions-are-hard worst case.
+	cfg.Thresholds = crowd.Thresholds{Accept: 1.1, Reject: -0.1}
+	p := Prepare(k1, k2, cfg)
+
+	asker := &contradictingAsker{asked: map[pair.Pair]int{}}
+	res := p.Run(asker)
+
+	if len(asker.asked) == 0 {
+		t.Fatal("nothing was asked")
+	}
+	for q, n := range asker.asked {
+		if n != 1 {
+			t.Errorf("pair %v asked %d times; hard questions must not be re-asked", q, n)
+		}
+	}
+	if res.Questions != len(asker.asked) {
+		t.Errorf("res.Questions = %d, want %d distinct questions", res.Questions, len(asker.asked))
+	}
+	// Every asked pair stayed unresolved, so every one of them took the
+	// damping path — and none was polled again.
+	for q := range asker.asked {
+		if res.Matches.Has(q) || res.NonMatches.Has(q) {
+			t.Errorf("pair %v resolved despite inconsistent labels", q)
+		}
+	}
+	if res.Matches.Len() != 0 {
+		t.Errorf("%d matches from a crowd that never agreed", res.Matches.Len())
+	}
+}

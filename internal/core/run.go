@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 
-	"repro/internal/crowd"
 	"repro/internal/ergraph"
 	"repro/internal/pair"
 	"repro/internal/propagation"
@@ -34,7 +33,9 @@ type Result struct {
 // relational match propagation (the paper's stop criterion), when the
 // question budget is exhausted, or when MaxLoops is reached.
 //
-// Bounded-distance inference is owned by an incremental
+// Run is the synchronous driver over the Loop state machine (loop.go): it
+// pulls each published batch and pushes the Asker's answers back in
+// selection order. Bounded-distance inference is owned by an incremental
 // propagation.Engine: resolving a pair invalidates only the sources whose
 // ζ-balls the pair participates in, and the Sync at the top of each loop
 // recomputes just those, instead of the full InferAll re-run the loop used
@@ -43,100 +44,25 @@ type Result struct {
 // rebuild. Each batch of µ questions is resolved against the snapshot
 // taken at the loop top, exactly as before.
 func (p *Prepared) Run(asker Asker) *Result {
-	cfg := p.Cfg
-	res := &Result{
-		Matches:           pair.Set{},
-		Confirmed:         pair.Set{},
-		Propagated:        pair.Set{},
-		IsolatedPredicted: pair.Set{},
-		NonMatches:        pair.Set{},
-	}
-	priors := make(map[pair.Pair]float64, len(p.Priors))
-	for k, v := range p.Priors {
-		priors[k] = v
-	}
-	// hard tracks questions already asked whose labels stayed inconsistent;
-	// since the platform reuses labels, re-asking cannot make progress, so
-	// they are withheld from later selection (their damped prior already
-	// reflects §VII-A).
-	hard := pair.Set{}
-
-	eng := propagation.NewEngine(p.Prob, cfg.Tau)
-	// Record the Dijkstra count without retaining the engine (and its
-	// O(sum of ball sizes) maps) past the run.
-	defer func() { p.runRecomputes = eng.Recomputes() }()
-
-	for {
-		if cfg.MaxLoops > 0 && res.Loops >= cfg.MaxLoops {
-			break
+	l := p.NewLoop()
+	for !l.Done() {
+		batch := l.Batch()
+		if len(batch) == 0 {
+			// Unreachable by the Loop invariant (an open loop always has an
+			// unanswered question); guard against a stalled machine rather
+			// than spinning.
+			panic("core: loop awaiting answers with no open question")
 		}
-		if cfg.debugFullResync {
-			// Test hook: degrade to the historical recompute-everything
-			// policy so equivalence tests can diff the results.
-			eng.InvalidateAll()
-		}
-		eng.Sync()
-		cands, anyPropagation := p.questionCandidates(res, priors, eng, hard)
-		if len(cands) == 0 || (!anyPropagation && !cfg.ExhaustBudget) {
-			break
-		}
-		mu := cfg.Mu
-		if cfg.Budget > 0 && res.Questions+mu > cfg.Budget {
-			mu = cfg.Budget - res.Questions
-			if mu <= 0 {
+		for _, q := range batch {
+			if err := l.Deliver(q, asker.Ask(q)); err != nil {
+				panic(err) // q came from Batch; delivery cannot fail
+			}
+			if l.Done() {
 				break
 			}
 		}
-		chosen := cfg.Strategy.Select(cands, mu)
-		if len(chosen) < mu {
-			// Remp always issues µ questions per human-machine loop
-			// (§VIII, Table VII): pad the batch with the highest-prior
-			// unchosen candidates once marginal benefits hit zero.
-			chosen = padBatch(cands, chosen, mu)
-		}
-		if len(chosen) == 0 {
-			break
-		}
-		res.Loops++
-		for _, ci := range chosen {
-			q := cands[ci].Pair
-			labels := asker.Ask(q)
-			res.Questions = asker.NumQuestions()
-			inf := crowd.Infer(priors[q], labels, cfg.Thresholds)
-			switch inf.Verdict {
-			case crowd.IsMatch:
-				p.confirmMatch(q, res, eng)
-			case crowd.IsNonMatch:
-				res.NonMatches.Add(q)
-				eng.DetachVertex(q)
-			default:
-				// Hard question: damp its prior so its benefit shrinks.
-				priors[q] = inf.Posterior
-				hard.Add(q)
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(res.Questions, res.Matches)
-			}
-			if cfg.Budget > 0 && res.Questions >= cfg.Budget {
-				break
-			}
-		}
-		if cfg.Hybrid {
-			p.monotoneInference(res, eng)
-		}
-		if cfg.Reestimate && res.Confirmed.Len() > 0 {
-			p.reestimate(res)
-			eng.Reset(p.Prob)
-		}
-		if cfg.Budget > 0 && res.Questions >= cfg.Budget {
-			break
-		}
 	}
-
-	if cfg.ClassifyIsolated {
-		p.classifyIsolated(res)
-	}
-	return res
+	return l.Result()
 }
 
 // padBatch extends a selection to mu questions with the highest-prior

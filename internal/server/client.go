@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a minimal typed client for the remp-server HTTP API, used by
+// examples/asynccrowd and the server tests.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses are returned as errors carrying the
+// server's error envelope.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession creates a session and returns its status with the opening
+// question batch.
+func (c *Client) CreateSession(req CreateRequest) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(http.MethodPost, "/v1/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Sessions lists the live session IDs.
+func (c *Client) Sessions() ([]string, error) {
+	var out struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := c.do(http.MethodGet, "/v1/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
+}
+
+// Batch fetches the open questions of a session.
+func (c *Client) Batch(id string) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(http.MethodGet, "/v1/sessions/"+id+"/batch", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// PostAnswers delivers worker labels and returns the refreshed status
+// (including the next batch, when one opened) with per-answer outcomes;
+// answers the session could not apply are listed in Rejected rather than
+// failing the request, so retries are safe.
+func (c *Client) PostAnswers(id string, answers []AnswerDTO) (*AnswersResponse, error) {
+	var resp AnswersResponse
+	if err := c.do(http.MethodPost, "/v1/sessions/"+id+"/answers", AnswersRequest{Answers: answers}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Result fetches the session's current (or final) result.
+func (c *Client) Result(id string) (*ResultDTO, error) {
+	var res ResultDTO
+	if err := c.do(http.MethodGet, "/v1/sessions/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Snapshot fetches the session's durable state.
+func (c *Client) Snapshot(id string) (*SnapshotDTO, error) {
+	var snap SnapshotDTO
+	if err := c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Restore recreates a session from a snapshot.
+func (c *Client) Restore(snap *SnapshotDTO) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(http.MethodPost, "/v1/sessions/restore", snap, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Delete forgets a session.
+func (c *Client) Delete(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}

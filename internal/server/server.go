@@ -1,0 +1,448 @@
+// Package server exposes resolution sessions over HTTP/JSON: the
+// asynchronous face of the Remp pipeline. A crowd frontend creates a
+// session, polls its question batches, posts worker answers as they
+// arrive — in any order — and fetches the final result (with
+// precision/recall/F1 when a gold standard is known). Snapshots move
+// sessions across process restarts.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/sessions            create a session (built-in dataset or inline TSV KBs)
+//	GET    /v1/sessions            list live session IDs
+//	GET    /v1/sessions/{id}       session status
+//	GET    /v1/sessions/{id}/batch open questions awaiting answers
+//	POST   /v1/sessions/{id}/answers deliver worker labels
+//	GET    /v1/sessions/{id}/result  current (or final) result, with PRF
+//	GET    /v1/sessions/{id}/snapshot durable session state
+//	POST   /v1/sessions/restore    recreate a session from a snapshot
+//	DELETE /v1/sessions/{id}       forget a session, releasing its questions
+//
+// Sessions created from the same dataset share a answer cache, so two
+// concurrent jobs over one dataset never post the same pair twice.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/datasets"
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/session"
+	"repro/remp"
+)
+
+// OptionsDTO is the JSON form of remp.Options.
+type OptionsDTO struct {
+	K                         int     `json:"k,omitempty"`
+	Tau                       float64 `json:"tau,omitempty"`
+	Mu                        int     `json:"mu,omitempty"`
+	LabelSimThreshold         float64 `json:"label_sim_threshold,omitempty"`
+	Budget                    int     `json:"budget,omitempty"`
+	MaxLoops                  int     `json:"max_loops,omitempty"`
+	Strategy                  string  `json:"strategy,omitempty"`
+	DisableIsolatedClassifier bool    `json:"disable_isolated_classifier,omitempty"`
+	Seed                      int64   `json:"seed,omitempty"`
+}
+
+func (o OptionsDTO) toOptions() remp.Options {
+	return remp.Options{
+		K: o.K, Tau: o.Tau, Mu: o.Mu, LabelSimThreshold: o.LabelSimThreshold,
+		Budget: o.Budget, MaxLoops: o.MaxLoops, Strategy: o.Strategy,
+		DisableIsolatedClassifier: o.DisableIsolatedClassifier, Seed: o.Seed,
+	}
+}
+
+// CreateRequest describes the dataset and options of a new session:
+// either a built-in dataset by name, or a pair of inline TSV KBs (the
+// cmd/datagen format) with an optional gold standard for evaluation.
+type CreateRequest struct {
+	Dataset string      `json:"dataset,omitempty"`
+	Seed    int64       `json:"seed,omitempty"`
+	KB1TSV  string      `json:"kb1_tsv,omitempty"`
+	KB2TSV  string      `json:"kb2_tsv,omitempty"`
+	Gold    [][2]string `json:"gold,omitempty"`
+	Options OptionsDTO  `json:"options"`
+}
+
+// QuestionDTO is one published question, with entity names for display.
+type QuestionDTO struct {
+	ID    string `json:"id"`
+	Left  string `json:"left"`
+	Right string `json:"right"`
+}
+
+// AnswerDTO is the crowd's labels for one question.
+type AnswerDTO struct {
+	ID     string       `json:"id"`
+	Labels []remp.Label `json:"labels"`
+}
+
+// AnswersRequest is the body of POST /v1/sessions/{id}/answers.
+type AnswersRequest struct {
+	Answers []AnswerDTO `json:"answers"`
+}
+
+// RejectedAnswerDTO reports one answer the session could not apply.
+type RejectedAnswerDTO struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// AnswersResponse is the body of POST /v1/sessions/{id}/answers: the
+// refreshed session status plus a per-answer outcome. Answers are applied
+// independently, so retrying a request whose answers were already
+// delivered is safe — the duplicates come back in Rejected while the
+// session state is untouched.
+type AnswersResponse struct {
+	SessionInfo
+	Accepted int                 `json:"accepted"`
+	Rejected []RejectedAnswerDTO `json:"rejected,omitempty"`
+}
+
+// SessionInfo is the session status envelope most endpoints return.
+type SessionInfo struct {
+	ID        string        `json:"id"`
+	State     string        `json:"state"`
+	Questions int           `json:"questions"`
+	Loops     int           `json:"loops"`
+	Batch     []QuestionDTO `json:"batch,omitempty"`
+}
+
+// PRFDTO is precision / recall / F1 against the session's gold standard.
+type PRFDTO struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// ResultDTO is the body of GET /v1/sessions/{id}/result.
+type ResultDTO struct {
+	Done              bool        `json:"done"`
+	Questions         int         `json:"questions"`
+	Loops             int         `json:"loops"`
+	Matches           [][2]string `json:"matches"`
+	Confirmed         int         `json:"confirmed"`
+	Propagated        int         `json:"propagated"`
+	IsolatedPredicted int         `json:"isolated_predicted"`
+	NonMatches        int         `json:"non_matches"`
+	PRF               *PRFDTO     `json:"prf,omitempty"`
+}
+
+// SnapshotDTO bundles a session snapshot with the create spec needed to
+// re-prepare its pipeline on restore.
+type SnapshotDTO struct {
+	Create  CreateRequest   `json:"create"`
+	Session json.RawMessage `json:"session"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// sessionMeta is the server-side state alongside each remp.Session.
+type sessionMeta struct {
+	spec      CreateRequest
+	namespace string
+	k1, k2    *kb.KB
+	gold      *remp.Gold
+}
+
+// Server serves resolution sessions over HTTP.
+type Server struct {
+	mgr  *remp.Manager
+	mu   sync.Mutex
+	meta map[string]*sessionMeta
+	logf func(format string, args ...any)
+}
+
+// New returns a server with an empty session manager. logf receives one
+// line per request outcome; nil disables logging.
+func New(logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{mgr: remp.NewManager(), meta: make(map[string]*sessionMeta), logf: logf}
+}
+
+// Handler returns the HTTP handler for all /v1 endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("POST /v1/sessions/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/sessions/{id}/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// ListenAndServe runs the server on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	log.Printf("remp-server listening on %s", addr)
+	return srv.ListenAndServe()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// loadSpec materializes the dataset of a create spec: KBs, optional gold,
+// and the cache namespace shared by sessions over the same data.
+func loadSpec(req CreateRequest) (ds remp.Dataset, gold *remp.Gold, namespace string, err error) {
+	switch {
+	case req.Dataset != "":
+		d, derr := datasets.ByName(req.Dataset, req.Seed)
+		if derr != nil {
+			return remp.Dataset{}, nil, "", fmt.Errorf("unknown dataset %q (built-ins: %s)", req.Dataset, strings.Join(datasets.Names(), ", "))
+		}
+		return remp.Dataset{K1: d.K1, K2: d.K2}, d.Gold, fmt.Sprintf("builtin:%s:%d", req.Dataset, req.Seed), nil
+	case req.KB1TSV != "" && req.KB2TSV != "":
+		k1, kerr := kb.ReadTSV(strings.NewReader(req.KB1TSV))
+		if kerr != nil {
+			return remp.Dataset{}, nil, "", fmt.Errorf("kb1_tsv: %v", kerr)
+		}
+		k2, kerr := kb.ReadTSV(strings.NewReader(req.KB2TSV))
+		if kerr != nil {
+			return remp.Dataset{}, nil, "", fmt.Errorf("kb2_tsv: %v", kerr)
+		}
+		var goldStd *remp.Gold
+		if len(req.Gold) > 0 {
+			matches := make([]remp.Pair, 0, len(req.Gold))
+			for i, g := range req.Gold {
+				u1, u2 := k1.Entity(g[0]), k2.Entity(g[1])
+				if u1 == kb.NoEntity || u2 == kb.NoEntity {
+					return remp.Dataset{}, nil, "", fmt.Errorf("gold[%d]: unknown entity in %q / %q", i, g[0], g[1])
+				}
+				matches = append(matches, remp.Pair{U1: u1, U2: u2})
+			}
+			goldStd = remp.NewGold(matches)
+		}
+		h := sha256.New()
+		h.Write([]byte(req.KB1TSV))
+		h.Write([]byte{0})
+		h.Write([]byte(req.KB2TSV))
+		return remp.Dataset{K1: k1, K2: k2}, goldStd, "inline:" + hex.EncodeToString(h.Sum(nil)[:12]), nil
+	default:
+		return remp.Dataset{}, nil, "", errors.New("either dataset or both kb1_tsv and kb2_tsv are required")
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	ds, gold, namespace, err := loadSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess, err := s.mgr.NewSession(ds, req.Options.toOptions(), namespace)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.meta[sess.ID()] = &sessionMeta{spec: req, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
+	s.mu.Unlock()
+	s.logf("created session %s (namespace %s)", sess.ID(), namespace)
+	writeJSON(w, http.StatusCreated, s.info(sess, true))
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var dto SnapshotDTO
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed snapshot: %v", err)
+		return
+	}
+	ds, gold, namespace, err := loadSpec(dto.Create)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess, err := s.mgr.RestoreSession(ds, dto.Create.Options.toOptions(), namespace, dto.Session)
+	if err != nil {
+		// Only an ID collision is a genuine conflict; malformed or
+		// diverging snapshots are client errors.
+		status := http.StatusBadRequest
+		if errors.Is(err, session.ErrSessionExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.meta[sess.ID()] = &sessionMeta{spec: dto.Create, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
+	s.mu.Unlock()
+	s.logf("restored session %s (namespace %s)", sess.ID(), namespace)
+	writeJSON(w, http.StatusCreated, s.info(sess, true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"sessions": s.mgr.SessionIDs()})
+}
+
+// lookup resolves the {id} path segment to a session and its metadata.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*remp.Session, *sessionMeta, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return nil, nil, false
+	}
+	s.mu.Lock()
+	meta := s.meta[id]
+	s.mu.Unlock()
+	if meta == nil {
+		// The session raced a DELETE between the two lookups.
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return nil, nil, false
+	}
+	return sess, meta, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sess, _, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(sess, false))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sess, _, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(sess, true))
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	sess, _, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req AnswersRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	if len(req.Answers) == 0 {
+		writeError(w, http.StatusBadRequest, "no answers in request")
+		return
+	}
+	// Answers are applied independently so a retried or partially
+	// duplicate request cannot fail answers that still fit: each
+	// rejection (duplicate, no longer open, malformed, labelless) is
+	// reported per answer instead of aborting the batch.
+	resp := AnswersResponse{}
+	for _, a := range req.Answers {
+		if err := sess.Deliver(a.ID, a.Labels); err != nil {
+			resp.Rejected = append(resp.Rejected, RejectedAnswerDTO{ID: a.ID, Error: err.Error()})
+			continue
+		}
+		resp.Accepted++
+	}
+	s.logf("session %s: %d answers accepted, %d rejected", sess.ID(), resp.Accepted, len(resp.Rejected))
+	resp.SessionInfo = s.info(sess, true)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess, meta, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res := sess.Result()
+	dto := ResultDTO{
+		Done:              sess.Done(),
+		Questions:         res.Questions,
+		Loops:             res.Loops,
+		Matches:           make([][2]string, 0, len(res.Matches)),
+		Confirmed:         len(res.Confirmed),
+		Propagated:        len(res.Propagated),
+		IsolatedPredicted: len(res.IsolatedPredicted),
+		NonMatches:        len(res.NonMatches),
+	}
+	for _, m := range pair.Set(res.Matches).Sorted() {
+		dto.Matches = append(dto.Matches, [2]string{meta.k1.EntityName(m.U1), meta.k2.EntityName(m.U2)})
+	}
+	if meta.gold != nil {
+		prf := remp.Evaluate(res.Matches, meta.gold)
+		dto.PRF = &PRFDTO{Precision: prf.Precision, Recall: prf.Recall, F1: prf.F1}
+	}
+	writeJSON(w, http.StatusOK, dto)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, meta, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, err := sess.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotDTO{Create: meta.spec, Session: data})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess, _, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mgr.Remove(sess.ID())
+	s.mu.Lock()
+	delete(s.meta, sess.ID())
+	s.mu.Unlock()
+	s.logf("deleted session %s", sess.ID())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// info builds the status envelope, optionally materializing the open
+// batch (which may auto-answer questions from the shared cache).
+func (s *Server) info(sess *remp.Session, withBatch bool) SessionInfo {
+	var batch []QuestionDTO
+	if withBatch {
+		s.mu.Lock()
+		meta := s.meta[sess.ID()]
+		s.mu.Unlock()
+		for _, q := range sess.NextBatch() {
+			dto := QuestionDTO{ID: q.ID}
+			if meta != nil {
+				dto.Left = meta.k1.EntityName(q.Pair.U1)
+				dto.Right = meta.k2.EntityName(q.Pair.U2)
+			}
+			batch = append(batch, dto)
+		}
+	}
+	questions, loops := sess.Progress()
+	return SessionInfo{
+		ID:        sess.ID(),
+		State:     string(sess.State()),
+		Questions: questions,
+		Loops:     loops,
+		Batch:     batch,
+	}
+}

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/session"
+	"repro/remp"
+)
+
+// fixture builds a books dataset, its TSV wire form and a name-keyed gold
+// standard — everything a client needs to create an equivalent session
+// over HTTP. WriteTSV preserves entity-ID order, so server-side pairs are
+// comparable with locally computed ones.
+func fixture(t *testing.T, n int) (remp.Dataset, *remp.Gold, CreateRequest) {
+	t.Helper()
+	k1 := kb.New("library")
+	k2 := kb.New("catalog")
+	name1, name2 := k1.AddAttr("name"), k2.AddAttr("label")
+	wrote1, wrote2 := k1.AddRel("wrote"), k2.AddRel("authorOf")
+
+	var gold []remp.Pair
+	var goldNames [][2]string
+	add := func(base string) (kb.EntityID, kb.EntityID) {
+		u1 := k1.AddEntity("l:" + base)
+		u2 := k2.AddEntity("r:" + base)
+		k1.SetLabel(u1, base)
+		k2.SetLabel(u2, base)
+		k1.AddAttrTriple(u1, name1, base)
+		k2.AddAttrTriple(u2, name2, base)
+		gold = append(gold, remp.Pair{U1: u1, U2: u2})
+		goldNames = append(goldNames, [2]string{"l:" + base, "r:" + base})
+		return u1, u2
+	}
+	for i := 0; i < n; i++ {
+		a1, a2 := add(fmt.Sprintf("author %d", i))
+		for b := 0; b < 2; b++ {
+			b1, b2 := add(fmt.Sprintf("book %d %d", i, b))
+			k1.AddRelTriple(a1, wrote1, b1)
+			k2.AddRelTriple(a2, wrote2, b2)
+		}
+		add(fmt.Sprintf("editor %d", i))
+	}
+
+	var tsv1, tsv2 strings.Builder
+	if err := k1.WriteTSV(&tsv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.WriteTSV(&tsv2); err != nil {
+		t.Fatal(err)
+	}
+	req := CreateRequest{
+		KB1TSV:  tsv1.String(),
+		KB2TSV:  tsv2.String(),
+		Gold:    goldNames,
+		Options: OptionsDTO{Mu: 3},
+	}
+	return remp.Dataset{K1: k1, K2: k2}, remp.NewGold(gold), req
+}
+
+// oracleAnswer builds the wire answer NewOracleCrowd would give.
+func oracleAnswer(t *testing.T, gold *remp.Gold, id string) AnswerDTO {
+	t.Helper()
+	q, err := session.ParseQuestionID(id)
+	if err != nil {
+		t.Fatalf("server issued unparsable question id %q: %v", id, err)
+	}
+	return AnswerDTO{ID: id, Labels: []remp.Label{{WorkerID: 0, Quality: 0.999, IsMatch: gold.IsMatch(q)}}}
+}
+
+func newTestServer(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(New(nil).Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), ts
+}
+
+// driveReversed answers every batch in reverse order until the session is
+// done, posting each answer in its own request.
+func driveReversed(t *testing.T, c *Client, gold *remp.Gold, info *SessionInfo) *SessionInfo {
+	t.Helper()
+	for info.State != string(remp.SessionDone) {
+		if len(info.Batch) == 0 {
+			t.Fatalf("session %s awaiting answers with an empty batch", info.ID)
+		}
+		for i := len(info.Batch) - 1; i >= 0; i-- {
+			next, err := c.PostAnswers(info.ID, []AnswerDTO{oracleAnswer(t, gold, info.Batch[i].ID)})
+			if err != nil {
+				t.Fatalf("PostAnswers: %v", err)
+			}
+			if len(next.Rejected) != 0 {
+				t.Fatalf("fresh answer rejected: %+v", next.Rejected)
+			}
+			info = &next.SessionInfo
+		}
+	}
+	return info
+}
+
+// TestHTTPSessionMatchesResolve is the acceptance test at the HTTP layer:
+// a session created over the wire and fed answers in reverse order must
+// reproduce remp.Resolve's result exactly — match set, question count and
+// loop count.
+func TestHTTPSessionMatchesResolve(t *testing.T) {
+	ds, gold, req := fixture(t, 5)
+	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.toOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := map[[2]string]bool{}
+	for m := range want.Matches {
+		wantNames[[2]string{ds.K1.EntityName(m.U1), ds.K2.EntityName(m.U2)}] = true
+	}
+
+	c, _ := newTestServer(t)
+	info, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info = driveReversed(t, c, gold, info)
+
+	res, err := c.Result(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("result endpoint reports an unfinished session after the loop stopped")
+	}
+	if res.Questions != want.Questions || res.Loops != want.Loops {
+		t.Fatalf("questions/loops %d/%d over HTTP, want %d/%d", res.Questions, res.Loops, want.Questions, want.Loops)
+	}
+	if len(res.Matches) != len(wantNames) {
+		t.Fatalf("%d matches over HTTP, want %d", len(res.Matches), len(wantNames))
+	}
+	for _, m := range res.Matches {
+		if !wantNames[m] {
+			t.Fatalf("HTTP-only match %v", m)
+		}
+	}
+	if res.Confirmed != len(want.Confirmed) || res.Propagated != len(want.Propagated) ||
+		res.IsolatedPredicted != len(want.IsolatedPredicted) || res.NonMatches != len(want.NonMatches) {
+		t.Fatalf("result breakdown differs: got %d/%d/%d/%d, want %d/%d/%d/%d",
+			res.Confirmed, res.Propagated, res.IsolatedPredicted, res.NonMatches,
+			len(want.Confirmed), len(want.Propagated), len(want.IsolatedPredicted), len(want.NonMatches))
+	}
+	if res.PRF == nil {
+		t.Fatal("no PRF despite a gold standard in the create request")
+	}
+	if res.PRF.F1 <= 0 {
+		t.Fatalf("F1 = %v", res.PRF.F1)
+	}
+}
+
+// TestHTTPSnapshotRestore snapshots a half-finished session, deletes it,
+// restores it from the snapshot and finishes it — the process-restart
+// story over the wire.
+func TestHTTPSnapshotRestore(t *testing.T) {
+	ds, gold, req := fixture(t, 5)
+	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.toOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, _ := newTestServer(t)
+	info, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer exactly one batch, then snapshot and drop the live session.
+	var answers []AnswerDTO
+	for _, q := range info.Batch {
+		answers = append(answers, oracleAnswer(t, gold, q.ID))
+	}
+	posted, err := c.PostAnswers(info.ID, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posted.Accepted != len(answers) || len(posted.Rejected) != 0 {
+		t.Fatalf("posted %d answers, accepted %d (rejected %+v)", len(answers), posted.Accepted, posted.Rejected)
+	}
+	info = &posted.SessionInfo
+	snap, err := c.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := c.Sessions(); len(ids) != 0 {
+		t.Fatalf("sessions survive deletion: %v", ids)
+	}
+
+	restored, err := c.Restore(snap)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.ID != info.ID {
+		t.Errorf("restored under id %q, want %q", restored.ID, info.ID)
+	}
+	if restored.Questions != info.Questions || restored.Loops != info.Loops {
+		t.Fatalf("restored progress %d/%d, want %d/%d",
+			restored.Questions, restored.Loops, info.Questions, info.Loops)
+	}
+	final := driveReversed(t, c, gold, restored)
+	res, err := c.Result(final.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Questions != want.Questions || res.Loops != want.Loops || len(res.Matches) != len(want.Matches) {
+		t.Fatalf("restored run diverged: %d questions / %d loops / %d matches, want %d/%d/%d",
+			res.Questions, res.Loops, len(res.Matches), want.Questions, want.Loops, len(want.Matches))
+	}
+}
+
+// TestHTTPSharedCacheAcrossSessions creates two sessions over the same
+// inline dataset: the second must never be handed a question the first
+// already has in flight, and once the first finishes, the second resolves
+// entirely from the shared answer cache — zero crowd answers posted.
+func TestHTTPSharedCacheAcrossSessions(t *testing.T) {
+	_, gold, req := fixture(t, 5)
+	c, _ := newTestServer(t)
+
+	a, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Batch) != 0 {
+		t.Fatalf("session %s was handed %d questions already in flight in %s", b.ID, len(b.Batch), a.ID)
+	}
+
+	a = driveReversed(t, c, gold, a)
+
+	// b drains the cache batch by batch; no answer is ever posted to it.
+	for i := 0; i < 1000; i++ {
+		info, err := c.Batch(b.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == string(remp.SessionDone) {
+			b = info
+			break
+		}
+		if len(info.Batch) != 0 {
+			t.Fatalf("session %s re-published %d questions that %s already answered", b.ID, len(info.Batch), a.ID)
+		}
+	}
+	if b.State != string(remp.SessionDone) {
+		t.Fatalf("session %s did not finish from the shared cache", b.ID)
+	}
+	if b.Questions != a.Questions {
+		t.Fatalf("cache-fed session answered %d questions, sibling %d", b.Questions, a.Questions)
+	}
+	resA, err := c.Result(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := c.Result(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Matches) != len(resB.Matches) {
+		t.Fatalf("cache-fed session found %d matches, sibling %d", len(resB.Matches), len(resA.Matches))
+	}
+}
+
+// TestHTTPErrors pins the error contract: unknown sessions are 404,
+// malformed creates 400, duplicate answers 409.
+func TestHTTPErrors(t *testing.T) {
+	_, gold, req := fixture(t, 4)
+	c, _ := newTestServer(t)
+
+	if _, err := c.Batch("nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown session: %v", err)
+	}
+	if _, err := c.CreateSession(CreateRequest{}); err == nil {
+		t.Error("empty create accepted")
+	}
+	if _, err := c.CreateSession(CreateRequest{Dataset: "bogus"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	bad := req
+	bad.Options.Mu = -3
+	if _, err := c.CreateSession(bad); err == nil || !strings.Contains(err.Error(), "Mu") {
+		t.Errorf("negative Mu accepted or error unhelpful: %v", err)
+	}
+
+	info, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := oracleAnswer(t, gold, info.Batch[0].ID)
+	first, err := c.PostAnswers(info.ID, []AnswerDTO{ans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Accepted != 1 {
+		t.Fatalf("first answer accepted %d times", first.Accepted)
+	}
+	// Retrying the identical request must not fail it — the duplicate is
+	// reported per answer and the session state is untouched.
+	retry, err := c.PostAnswers(info.ID, []AnswerDTO{ans})
+	if err != nil {
+		t.Fatalf("retried answer failed the request: %v", err)
+	}
+	if retry.Accepted != 0 || len(retry.Rejected) != 1 || retry.Rejected[0].ID != ans.ID {
+		t.Errorf("retry outcome: accepted %d, rejected %+v", retry.Accepted, retry.Rejected)
+	}
+	if retry.Questions != first.Questions {
+		t.Errorf("retry changed question count: %d != %d", retry.Questions, first.Questions)
+	}
+	bad2, err := c.PostAnswers(info.ID, []AnswerDTO{{ID: "zzz", Labels: ans.Labels}, {ID: info.Batch[0].ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad2.Rejected) != 2 {
+		t.Errorf("malformed id and labelless answer not both rejected: %+v", bad2.Rejected)
+	}
+	if _, err := c.PostAnswers(info.ID, nil); err == nil {
+		t.Error("empty answers request accepted")
+	}
+
+	// Restore status codes: a malformed snapshot is the client's fault
+	// (400); restoring over a live session ID is a conflict (409).
+	if _, err := c.Restore(&SnapshotDTO{Create: req, Session: []byte(`{"version":99}`)}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("malformed snapshot restore: %v", err)
+	}
+	snap, err := c.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restore(snap); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("restore over a live session: %v", err)
+	}
+}
+
+// TestQuestionIDRoundTrip pins the wire format of question IDs.
+func TestQuestionIDRoundTrip(t *testing.T) {
+	q := pair.Pair{U1: 12, U2: 345}
+	id := session.QuestionID(q)
+	if id != "12-345" {
+		t.Fatalf("QuestionID = %q", id)
+	}
+	back, err := session.ParseQuestionID(id)
+	if err != nil || back != q {
+		t.Fatalf("ParseQuestionID(%q) = %v, %v", id, back, err)
+	}
+}

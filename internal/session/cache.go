@@ -1,0 +1,94 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/crowd"
+	"repro/internal/pair"
+)
+
+// Cache shares crowd answers across the sessions of one namespace so a
+// pair is answered by workers at most once, no matter how many concurrent
+// sessions ask about it. An entry is either answered — the labels are
+// served to every session that opens the pair — or reserved: some session
+// has published the pair in a NextBatch and its answer is still pending,
+// so sibling sessions withhold the pair from their own batches instead of
+// re-posting it.
+//
+// Reservations are keyed by session ID and released when the answer
+// arrives, when the owning session finishes, or when the Manager removes
+// the owner — so an abandoned session cannot starve its siblings forever.
+type Cache struct {
+	mu       sync.Mutex
+	answers  map[pair.Pair][]crowd.Label
+	reserved map[pair.Pair]string // pending pair → owning session ID
+	hits     atomic.Int64
+}
+
+// NewCache returns an empty answer cache.
+func NewCache() *Cache {
+	return &Cache{
+		answers:  make(map[pair.Pair][]crowd.Label),
+		reserved: make(map[pair.Pair]string),
+	}
+}
+
+// answer returns the cached labels for q, counting a hit.
+func (c *Cache) answer(q pair.Pair) ([]crowd.Label, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels, ok := c.answers[q]
+	if ok {
+		c.hits.Add(1)
+	}
+	return labels, ok
+}
+
+// put stores the answer for q (first answer wins, so every session sees
+// the same labels) and clears any reservation.
+func (c *Cache) put(q pair.Pair, labels []crowd.Label) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.answers[q]; !dup {
+		c.answers[q] = labels
+	}
+	delete(c.reserved, q)
+}
+
+// reserve claims q for owner. It reports whether owner holds the claim and
+// should publish the question; false means the pair is already answered
+// (the caller picks it up on its next drain) or in flight in a sibling.
+func (c *Cache) reserve(q pair.Pair, owner string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, answered := c.answers[q]; answered {
+		return false
+	}
+	if held, ok := c.reserved[q]; ok {
+		return held == owner
+	}
+	c.reserved[q] = owner
+	return true
+}
+
+// releaseOwned drops every reservation held by owner.
+func (c *Cache) releaseOwned(owner string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for q, held := range c.reserved {
+		if held == owner {
+			delete(c.reserved, q)
+		}
+	}
+}
+
+// Len returns the number of answered pairs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.answers)
+}
+
+// Hits returns how many times a cached answer was served to a session.
+func (c *Cache) Hits() int64 { return c.hits.Load() }

@@ -1,0 +1,144 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrSessionExists is returned by Manager.Restore when the snapshot's ID
+// is already registered.
+var ErrSessionExists = errors.New("session: id already exists")
+
+// Manager owns a set of concurrent sessions and the per-namespace answer
+// caches they share. Sessions created in the same namespace — the same
+// dataset, by convention — exchange answers through one Cache; distinct
+// namespaces are fully isolated (entity IDs are only meaningful within one
+// dataset). All methods are safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	caches   map[string]*Cache
+	nextID   int
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		sessions: make(map[string]*Session),
+		caches:   make(map[string]*Cache),
+	}
+}
+
+// Cache returns the namespace's shared answer cache, creating it on first
+// use.
+func (m *Manager) Cache(namespace string) *Cache {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheLocked(namespace)
+}
+
+func (m *Manager) cacheLocked(namespace string) *Cache {
+	c, ok := m.caches[namespace]
+	if !ok {
+		c = NewCache()
+		m.caches[namespace] = c
+	}
+	return c
+}
+
+// Create starts a new session in the namespace and registers it under a
+// fresh ID. The Prepared must be exclusive to the session.
+func (m *Manager) Create(p *core.Prepared, namespace string) *Session {
+	m.mu.Lock()
+	// Skip counter values colliding with restored-session IDs, and claim
+	// the slot before releasing the lock so a concurrent Restore cannot
+	// race onto the same ID.
+	var id string
+	for {
+		m.nextID++
+		id = fmt.Sprintf("s%d", m.nextID)
+		if _, taken := m.sessions[id]; !taken {
+			break
+		}
+	}
+	m.sessions[id] = nil
+	cache := m.cacheLocked(namespace)
+	m.mu.Unlock()
+	// New drains the cache outside the manager lock: it can run long and
+	// only touches the session's own state plus the cache's own mutex.
+	s := New(id, p, cache)
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s
+}
+
+// Restore rebuilds a snapshotted session in the namespace and registers it
+// under its snapshot ID. It fails when the ID is already live.
+func (m *Manager) Restore(p *core.Prepared, namespace string, snap *Snapshot) (*Session, error) {
+	m.mu.Lock()
+	if _, exists := m.sessions[snap.ID]; exists {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, snap.ID)
+	}
+	cache := m.cacheLocked(namespace)
+	m.mu.Unlock()
+	s, err := Restore(p, cache, snap)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.sessions[snap.ID]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, snap.ID)
+	}
+	m.sessions[snap.ID] = s
+	return s, nil
+}
+
+// Get returns the session registered under id. A slot claimed by an
+// in-flight Create (nil placeholder) is not yet visible.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if s == nil {
+		return nil, false
+	}
+	return s, ok
+}
+
+// Remove forgets the session and releases any question reservations it
+// still holds, so sibling sessions can re-post its in-flight pairs.
+func (m *Manager) Remove(id string) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	if s == nil {
+		// Unknown ID or a Create still in flight; leave claimed slots be.
+		m.mu.Unlock()
+		return
+	}
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if s.cache != nil {
+		s.cache.releaseOwned(s.ID())
+	}
+}
+
+// IDs returns the live session IDs in deterministic order.
+func (m *Manager) IDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		if s != nil {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,241 @@
+// Package session turns the core human–machine loop into resumable,
+// concurrent resolution sessions — the asynchronous shape the paper's
+// crowdsourcing setting actually has (§VII): a batch of µ questions is
+// posted to a crowd platform and the answers trickle back out of order,
+// possibly across process restarts.
+//
+// A Session wraps one core.Loop with locking, stable question IDs and an
+// event-sourced JSON snapshot: the applied answers are recorded in
+// application order, so Restore replays them through a freshly prepared
+// pipeline and reaches a byte-identical state. A Manager runs many
+// sessions concurrently and shares answers across sessions through a
+// per-namespace Cache with reservations, so a pair answered (or merely in
+// flight) in one session is never re-posted by another.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// State names the externally visible states of a Session; they mirror
+// core.LoopState.
+type State = core.LoopState
+
+// Session states.
+const (
+	// StateAwaiting means a question batch is published and at least one
+	// answer is outstanding (possibly reserved by a sibling session).
+	StateAwaiting = core.LoopAwaiting
+	// StateDone means the result is final.
+	StateDone = core.LoopDone
+)
+
+// ErrNoLabels rejects an answer delivered without any worker label.
+var ErrNoLabels = errors.New("session: answer carries no labels")
+
+// Question is one published crowd question: a stable ID plus the entity
+// pair it asks about.
+type Question struct {
+	// ID is the stable wire identifier, "u1-u2".
+	ID string
+	// Pair is the entity pair the question asks about.
+	Pair pair.Pair
+}
+
+// QuestionID formats the stable wire identifier of a pair.
+func QuestionID(q pair.Pair) string {
+	return strconv.Itoa(int(q.U1)) + "-" + strconv.Itoa(int(q.U2))
+}
+
+// ParseQuestionID inverts QuestionID.
+func ParseQuestionID(id string) (pair.Pair, error) {
+	u1s, u2s, ok := strings.Cut(id, "-")
+	if !ok {
+		return pair.Pair{}, fmt.Errorf("session: malformed question id %q (want \"u1-u2\")", id)
+	}
+	u1, err1 := strconv.Atoi(u1s)
+	u2, err2 := strconv.Atoi(u2s)
+	if err1 != nil || err2 != nil || u1 < 0 || u2 < 0 {
+		return pair.Pair{}, fmt.Errorf("session: malformed question id %q (want \"u1-u2\")", id)
+	}
+	return pair.Pair{U1: kb.EntityID(u1), U2: kb.EntityID(u2)}, nil
+}
+
+// Label is one worker's answer in wire form; it is the JSON face of
+// crowd.Label.
+type Label struct {
+	// WorkerID identifies the worker (opaque to the pipeline).
+	WorkerID int `json:"worker"`
+	// Quality is the worker's answer quality λ ∈ (0,1], the weight truth
+	// inference gives the label (Eq. 17).
+	Quality float64 `json:"quality"`
+	// IsMatch is the worker's verdict.
+	IsMatch bool `json:"match"`
+}
+
+// ToCrowd converts wire labels to the pipeline's label type.
+func ToCrowd(labels []Label) []crowd.Label {
+	out := make([]crowd.Label, len(labels))
+	for i, l := range labels {
+		out[i] = crowd.Label{Worker: crowd.Worker{ID: l.WorkerID, Quality: l.Quality}, IsMatch: l.IsMatch}
+	}
+	return out
+}
+
+// FromCrowd converts pipeline labels to wire form.
+func FromCrowd(labels []crowd.Label) []Label {
+	out := make([]Label, len(labels))
+	for i, l := range labels {
+		out[i] = Label{WorkerID: l.Worker.ID, Quality: l.Worker.Quality, IsMatch: l.IsMatch}
+	}
+	return out
+}
+
+// Session is one resumable resolution job: a core.Loop behind a mutex,
+// with cache-mediated answer sharing and an event log for snapshots. All
+// methods are safe for concurrent use.
+type Session struct {
+	mu    sync.Mutex
+	id    string
+	loop  *core.Loop
+	cache *Cache // nil when the session does not share answers
+}
+
+// New starts a session over a freshly prepared pipeline. The Prepared must
+// be exclusive to this session (the loop mutates its probabilistic graph).
+// cache may be nil; when set, the session first drains any answers the
+// cache already holds for its opening batch.
+func New(id string, p *core.Prepared, cache *Cache) *Session {
+	s := &Session{id: id, loop: p.NewLoop(), cache: cache}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainCache()
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// State returns the session's current state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loop.State()
+}
+
+// Done reports whether the result is final.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loop.Done()
+}
+
+// Progress returns the questions asked and loops executed so far.
+func (s *Session) Progress() (questions, loops int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.loop.Result()
+	return res.Questions, res.Loops
+}
+
+// NextBatch publishes the questions the crowd should answer now: the open
+// batch minus answers already known to the shared cache (delivered
+// immediately) and minus questions a sibling session already has in
+// flight. An empty batch with State still StateAwaiting means every open
+// question is reserved elsewhere — poll again once siblings deliver.
+func (s *Session) NextBatch() []Question {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainCache()
+	if s.loop.Done() {
+		return nil
+	}
+	var out []Question
+	for _, q := range s.loop.Batch() {
+		if s.cache != nil && !s.cache.reserve(q, s.id) {
+			continue // answered or posted by a sibling; drained next round
+		}
+		out = append(out, Question{ID: QuestionID(q), Pair: q})
+	}
+	return out
+}
+
+// Deliver accepts the labels for one open question, identified by its wire
+// ID, in any order. The answer is shared through the cache (when present)
+// so sibling sessions never re-post the pair. A wire answer must carry at
+// least one label; use DeliverPair to feed an empty (all workers timed
+// out) answer in process.
+func (s *Session) Deliver(id string, labels []Label) error {
+	q, err := ParseQuestionID(id)
+	if err != nil {
+		return err
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("%w: %v", ErrNoLabels, q)
+	}
+	return s.DeliverPair(q, ToCrowd(labels))
+}
+
+// DeliverPair is Deliver for callers that already hold the pair and
+// pipeline labels (the in-process Asker adapter). An empty label slice is
+// allowed and leaves the question's posterior at its prior — exactly how
+// the synchronous loop treats an Asker that returns no labels.
+func (s *Session) DeliverPair(q pair.Pair, labels []crowd.Label) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.loop.Deliver(q, labels); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.put(q, labels)
+	}
+	s.drainCache()
+	return nil
+}
+
+// Result returns a detached copy of the current result; final once Done.
+func (s *Session) Result() *core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.loop.Result()
+	return &core.Result{
+		Matches:           res.Matches.Clone(),
+		Confirmed:         res.Confirmed.Clone(),
+		Propagated:        res.Propagated.Clone(),
+		IsolatedPredicted: res.IsolatedPredicted.Clone(),
+		NonMatches:        res.NonMatches.Clone(),
+		Questions:         res.Questions,
+		Loops:             res.Loops,
+	}
+}
+
+// drainCache delivers every cached answer for the open batch, repeating as
+// deliveries advance the loop into new batches, and releases this
+// session's reservations once the loop finishes. Callers hold s.mu.
+func (s *Session) drainCache() {
+	if s.cache == nil {
+		return
+	}
+outer:
+	for !s.loop.Done() {
+		for _, q := range s.loop.Batch() {
+			if labels, ok := s.cache.answer(q); ok {
+				if err := s.loop.Deliver(q, labels); err != nil {
+					panic(err) // q came from Batch; delivery cannot fail
+				}
+				continue outer // the batch may have changed entirely
+			}
+		}
+		return
+	}
+	s.cache.releaseOwned(s.id)
+}

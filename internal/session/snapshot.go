@@ -1,0 +1,109 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// SnapshotVersion is the current snapshot wire format.
+const SnapshotVersion = 1
+
+// Snapshot is a session's durable state: an event log rather than a state
+// dump. Because the loop applies answers in a deterministic order fixed by
+// question selection, replaying Applied through a freshly prepared
+// pipeline reconstructs the exact machine state — engine balls, damped
+// priors, resolved sets and all — without serializing any of it. Pending
+// holds answers that had arrived out of order and were still buffered.
+// The snapshot does not carry the dataset or the options; the caller must
+// re-prepare the same pipeline (same KBs, same configuration) for Restore.
+type Snapshot struct {
+	Version int         `json:"version"`
+	ID      string      `json:"id"`
+	Done    bool        `json:"done"`
+	Applied []AnswerRec `json:"applied"`
+	Pending []AnswerRec `json:"pending,omitempty"`
+}
+
+// AnswerRec is one recorded answer in wire form.
+type AnswerRec struct {
+	U1     kb.EntityID `json:"u1"`
+	U2     kb.EntityID `json:"u2"`
+	Labels []Label     `json:"labels"`
+}
+
+func toRecs(answers []core.Answer) []AnswerRec {
+	out := make([]AnswerRec, len(answers))
+	for i, a := range answers {
+		out[i] = AnswerRec{U1: a.Pair.U1, U2: a.Pair.U2, Labels: FromCrowd(a.Labels)}
+	}
+	return out
+}
+
+// Snapshot captures the session's current state. The session keeps
+// running; snapshots are cheap (one record per answered question).
+func (s *Session) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Snapshot{
+		Version: SnapshotVersion,
+		ID:      s.id,
+		Done:    s.loop.Done(),
+		Applied: toRecs(s.loop.History()),
+		Pending: toRecs(s.loop.Buffered()),
+	}
+}
+
+// MarshalJSON-friendly helpers for callers that move snapshots as bytes.
+
+// EncodeSnapshot serializes a snapshot to JSON.
+func EncodeSnapshot(snap *Snapshot) ([]byte, error) { return json.Marshal(snap) }
+
+// DecodeSnapshot parses a JSON snapshot and checks its version.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("session: malformed snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("session: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	return &snap, nil
+}
+
+// Restore rebuilds a session from its snapshot by replaying the answer log
+// through a freshly prepared pipeline. The Prepared must be built from the
+// same dataset and configuration the session was created with; a replayed
+// answer that does not belong to the open batch it lands in proves the
+// pipeline diverged and fails the restore. Replayed answers repopulate the
+// shared cache (when present), so restoring after a process restart also
+// restores cross-session suppression.
+func Restore(p *core.Prepared, cache *Cache, snap *Snapshot) (*Session, error) {
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("session: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	if snap.ID == "" {
+		return nil, fmt.Errorf("session: snapshot has no session id")
+	}
+	s := &Session{id: snap.ID, loop: p.NewLoop(), cache: cache}
+	for i, rec := range append(append([]AnswerRec{}, snap.Applied...), snap.Pending...) {
+		q := pair.Pair{U1: rec.U1, U2: rec.U2}
+		labels := ToCrowd(rec.Labels)
+		if err := s.loop.Deliver(q, labels); err != nil {
+			return nil, fmt.Errorf("session: snapshot replay diverged at answer %d: %w", i, err)
+		}
+		if cache != nil {
+			cache.put(q, labels)
+		}
+	}
+	if snap.Done && !s.loop.Done() {
+		return nil, fmt.Errorf("session: snapshot replay diverged: snapshot is done but the replayed loop is still %s", s.loop.State())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainCache()
+	return s, nil
+}

@@ -127,6 +127,9 @@ type Result struct {
 	Confirmed         map[Pair]struct{}
 	Propagated        map[Pair]struct{}
 	IsolatedPredicted map[Pair]struct{}
+	// NonMatches are pairs resolved negative by workers (or by the 1:1
+	// entity constraint when a competitor was confirmed).
+	NonMatches map[Pair]struct{}
 	// Questions is the number of distinct questions asked.
 	Questions int
 	// Loops is the number of human-machine loops executed.
@@ -136,13 +139,86 @@ type Result struct {
 // ErrNilInput is returned when a KB or the asker is missing.
 var ErrNilInput = errors.New("remp: nil knowledge base or asker")
 
-// Resolve runs the full Remp pipeline on the dataset against the asker.
-func Resolve(ds Dataset, asker Asker, opts Options) (*Result, error) {
-	p, err := NewPipeline(ds, opts)
+// configFromOptions maps the public Options onto the pipeline Config and
+// validates them. Zero values keep the paper's defaults; explicitly
+// invalid values — negative K, Mu, Budget or MaxLoops, an out-of-range Tau
+// or LabelSimThreshold — are rejected with a descriptive error instead of
+// being silently ignored.
+func configFromOptions(opts Options) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	if opts.K != 0 {
+		cfg.K = opts.K
+	}
+	if opts.Tau != 0 {
+		cfg.Tau = opts.Tau
+	}
+	if opts.Mu != 0 {
+		cfg.Mu = opts.Mu
+	}
+	if opts.LabelSimThreshold != 0 {
+		cfg.LabelSimThreshold = opts.LabelSimThreshold
+	}
+	cfg.Budget = opts.Budget
+	cfg.MaxLoops = opts.MaxLoops
+	cfg.ClassifyIsolated = !opts.DisableIsolatedClassifier
+	cfg.Seed = opts.Seed
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, fmt.Errorf("remp: invalid options: %w", err)
+	}
+	switch opts.Strategy {
+	case "", "greedy":
+		cfg.Strategy = selection.Greedy{}
+	case "maxinf":
+		cfg.Strategy = selection.MaxInf{}
+	case "maxpr":
+		cfg.Strategy = selection.MaxPr{}
+	default:
+		return core.Config{}, errors.New("remp: unknown strategy " + opts.Strategy)
+	}
+	return cfg, nil
+}
+
+// prepare validates the inputs and runs stages 1–2 of the pipeline.
+func prepare(ds Dataset, opts Options) (*core.Prepared, error) {
+	if ds.K1 == nil || ds.K2 == nil {
+		return nil, ErrNilInput
+	}
+	cfg, err := configFromOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(asker)
+	return core.Prepare(ds.K1, ds.K2, cfg), nil
+}
+
+// Resolve runs the full Remp pipeline on the dataset against the asker.
+// It is implemented as a Session driven synchronously by the Asker: every
+// published batch is answered in selection order, which is exactly the
+// paper's blocking human–machine loop.
+func Resolve(ds Dataset, asker Asker, opts Options) (*Result, error) {
+	if asker == nil {
+		return nil, ErrNilInput
+	}
+	s, err := NewSession(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		batch := s.NextBatch()
+		if len(batch) == 0 {
+			// Unreachable: a standalone session always publishes its whole
+			// open batch while awaiting answers.
+			return nil, errors.New("remp: session stalled with no open questions")
+		}
+		for _, q := range batch {
+			if err := s.deliverCrowd(q.Pair, asker.Ask(q.Pair)); err != nil {
+				return nil, err
+			}
+			if s.Done() {
+				break
+			}
+		}
+	}
+	return s.Result(), nil
 }
 
 // Pipeline exposes the prepared pipeline for step-by-step use: stage-1
@@ -155,40 +231,11 @@ type Pipeline struct {
 // NewPipeline runs ER graph construction (stage 1) and propagation
 // modeling (stage 2), returning a pipeline ready to ask questions.
 func NewPipeline(ds Dataset, opts Options) (*Pipeline, error) {
-	if ds.K1 == nil || ds.K2 == nil {
-		return nil, ErrNilInput
+	p, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
 	}
-	cfg := core.DefaultConfig()
-	if opts.K > 0 {
-		cfg.K = opts.K
-	}
-	if opts.Tau != 0 {
-		cfg.Tau = opts.Tau
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("remp: invalid options: %w", err)
-	}
-	if opts.Mu > 0 {
-		cfg.Mu = opts.Mu
-	}
-	if opts.LabelSimThreshold > 0 {
-		cfg.LabelSimThreshold = opts.LabelSimThreshold
-	}
-	cfg.Budget = opts.Budget
-	cfg.MaxLoops = opts.MaxLoops
-	cfg.ClassifyIsolated = !opts.DisableIsolatedClassifier
-	cfg.Seed = opts.Seed
-	switch opts.Strategy {
-	case "", "greedy":
-		cfg.Strategy = selection.Greedy{}
-	case "maxinf":
-		cfg.Strategy = selection.MaxInf{}
-	case "maxpr":
-		cfg.Strategy = selection.MaxPr{}
-	default:
-		return nil, errors.New("remp: unknown strategy " + opts.Strategy)
-	}
-	return &Pipeline{prepared: core.Prepare(ds.K1, ds.K2, cfg)}, nil
+	return &Pipeline{prepared: p}, nil
 }
 
 // Run executes the human–machine loop.
@@ -196,15 +243,7 @@ func (p *Pipeline) Run(asker Asker) (*Result, error) {
 	if asker == nil {
 		return nil, ErrNilInput
 	}
-	res := p.prepared.Run(asker)
-	return &Result{
-		Matches:           res.Matches,
-		Confirmed:         res.Confirmed,
-		Propagated:        res.Propagated,
-		IsolatedPredicted: res.IsolatedPredicted,
-		Questions:         res.Questions,
-		Loops:             res.Loops,
-	}, nil
+	return fromCoreResult(p.prepared.Run(asker)), nil
 }
 
 // CandidatePairs returns the retained entity pairs (the ER graph's

@@ -1,0 +1,183 @@
+package remp
+
+import (
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/session"
+)
+
+// SessionState names a session's lifecycle state.
+type SessionState = session.State
+
+// Session lifecycle states: a session awaits answers until the stop
+// criterion holds, then it is done and the result is final.
+const (
+	// SessionAwaiting means a question batch is published and at least one
+	// answer is outstanding.
+	SessionAwaiting = session.StateAwaiting
+	// SessionDone means the result is final.
+	SessionDone = session.StateDone
+)
+
+// Question is one published crowd question: a stable wire ID ("u1-u2")
+// plus the entity pair it asks about.
+type Question = session.Question
+
+// Label is one worker's answer in wire form: worker ID, answer quality
+// λ ∈ (0,1] and the verdict.
+type Label = session.Label
+
+// Session is an asynchronous resolution job: the paper's human–machine
+// loop inverted into a pull/push state machine. NextBatch publishes the
+// current µ-question batch; Deliver accepts the crowd's answers in any
+// order; once a batch drains the loop advances (propagation sync,
+// confirm/detach, re-estimation, padding, stop criterion) exactly as the
+// synchronous Resolve would. Sessions are safe for concurrent use and
+// survive process restarts through Snapshot / RestoreSession.
+type Session struct {
+	s *session.Session
+}
+
+// NewSession prepares the pipeline and starts a standalone session over
+// it. Use Manager.NewSession instead when several sessions should share
+// crowd answers.
+func NewSession(ds Dataset, opts Options) (*Session, error) {
+	p, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: session.New("session", p, nil)}, nil
+}
+
+// ID returns the session identifier ("session" for standalone sessions;
+// manager-created ones get unique IDs).
+func (s *Session) ID() string { return s.s.ID() }
+
+// State returns the session's lifecycle state.
+func (s *Session) State() SessionState { return s.s.State() }
+
+// Done reports whether the result is final.
+func (s *Session) Done() bool { return s.s.Done() }
+
+// Progress returns the questions answered and loops executed so far.
+func (s *Session) Progress() (questions, loops int) { return s.s.Progress() }
+
+// NextBatch returns the published questions still awaiting answers. An
+// empty batch means the session is done — except under a Manager, where
+// it can also mean every open question is already in flight in a sibling
+// session; poll again after siblings deliver.
+func (s *Session) NextBatch() []Question { return s.s.NextBatch() }
+
+// Deliver accepts the worker labels for one published question, in any
+// order. Answers are applied in the batch's selection order internally,
+// so delivery order cannot change the result.
+func (s *Session) Deliver(questionID string, labels []Label) error {
+	return s.s.Deliver(questionID, labels)
+}
+
+// deliverCrowd feeds pipeline-typed labels straight into the session — the
+// Asker adapter used by Resolve.
+func (s *Session) deliverCrowd(q Pair, labels []crowd.Label) error {
+	return s.s.DeliverPair(q, labels)
+}
+
+// Result returns a detached copy of the session's result; final once Done.
+func (s *Session) Result() *Result {
+	return fromCoreResult(s.s.Result())
+}
+
+// Snapshot serializes the session's state to JSON: an event log of the
+// answers applied so far (plus any buffered out of order), replayable
+// against a freshly prepared pipeline. Persist it with the dataset and
+// Options used at creation; RestoreSession needs all three.
+func (s *Session) Snapshot() ([]byte, error) {
+	return session.EncodeSnapshot(s.s.Snapshot())
+}
+
+// RestoreSession rebuilds a session from a Snapshot by re-preparing the
+// pipeline from the same dataset and options and replaying the answer
+// log. A snapshot replayed against a different dataset or configuration
+// fails with a divergence error.
+func RestoreSession(ds Dataset, opts Options, snapshot []byte) (*Session, error) {
+	snap, err := session.DecodeSnapshot(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := session.Restore(p, nil, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: inner}, nil
+}
+
+// Manager runs many concurrent sessions and shares crowd answers between
+// the sessions of one namespace (use one namespace per dataset): a pair
+// answered — or merely published — by one session is never re-posted by
+// another, so the crowd is asked each question at most once.
+type Manager struct {
+	m *session.Manager
+}
+
+// NewManager returns an empty session manager.
+func NewManager() *Manager { return &Manager{m: session.NewManager()} }
+
+// NewSession prepares a pipeline and starts a managed session in the
+// namespace.
+func (m *Manager) NewSession(ds Dataset, opts Options, namespace string) (*Session, error) {
+	p, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: m.m.Create(p, namespace)}, nil
+}
+
+// RestoreSession rebuilds a snapshotted session inside the manager,
+// keeping its snapshot ID and re-joining the namespace's answer cache.
+func (m *Manager) RestoreSession(ds Dataset, opts Options, namespace string, snapshot []byte) (*Session, error) {
+	snap, err := session.DecodeSnapshot(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := m.m.Restore(p, namespace, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: inner}, nil
+}
+
+// Get returns the managed session with the given ID.
+func (m *Manager) Get(id string) (*Session, bool) {
+	inner, ok := m.m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return &Session{s: inner}, true
+}
+
+// Remove forgets a session and releases the questions it still had in
+// flight, so sibling sessions can post them instead.
+func (m *Manager) Remove(id string) { m.m.Remove(id) }
+
+// SessionIDs returns the live session IDs in deterministic order.
+func (m *Manager) SessionIDs() []string { return m.m.IDs() }
+
+// fromCoreResult converts the pipeline result to the public shape.
+func fromCoreResult(res *core.Result) *Result {
+	return &Result{
+		Matches:           res.Matches,
+		Confirmed:         res.Confirmed,
+		Propagated:        res.Propagated,
+		IsolatedPredicted: res.IsolatedPredicted,
+		NonMatches:        res.NonMatches,
+		Questions:         res.Questions,
+		Loops:             res.Loops,
+	}
+}
