@@ -77,3 +77,10 @@ func BenchmarkTable8_IsolatedPairs(b *testing.B) {
 func BenchmarkFigure6_Scalability(b *testing.B) {
 	benchExperiment(b, func(w io.Writer, s int64) { experiments.Figure6(w, s) })
 }
+
+// BenchmarkShards_Scalability runs the shard-count speedup sweep on the
+// clustered synthetic graph: the sharded human–machine loop against the
+// monolithic one, with exact-equivalence checks.
+func BenchmarkShards_Scalability(b *testing.B) {
+	benchExperiment(b, func(w io.Writer, s int64) { experiments.ShardScalability(w, s) })
+}

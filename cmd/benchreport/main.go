@@ -1,0 +1,207 @@
+// Command benchreport turns raw benchmark output into the repository's
+// machine-readable benchmark trajectory and gates CI on regressions.
+//
+// It parses `go test -bench` text output, merges the shard-scalability
+// report written by `remp-bench -experiment shards -json`, annotates the
+// built-in dataset sizes, and writes one BENCH_remp.json. When a baseline
+// file is given it compares ns/op benchmark by benchmark and exits
+// non-zero if any benchmark regressed by more than the allowed fraction
+// — after normalizing by the median ratio across all shared benchmarks,
+// so a uniformly slower or faster host (CI runners vs the machine that
+// recorded the baseline) does not trip the gate; only benchmarks that
+// moved relative to the rest of the suite do.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | tee bench.txt
+//	remp-bench -experiment shards -json shards.json
+//	benchreport -bench bench.txt -shards shards.json \
+//	    -baseline BENCH_baseline.json -out BENCH_remp.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+)
+
+// Report is the BENCH_remp.json schema.
+type Report struct {
+	Version     int                      `json:"version"`
+	Go          string                   `json:"go"`
+	Benchmarks  []Benchmark              `json:"benchmarks"`
+	Scalability *experiments.ShardReport `json:"scalability,omitempty"`
+	Datasets    []DatasetSize            `json:"datasets"`
+}
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// DatasetSize records the synthetic benchmark suite's scale alongside the
+// timings that were measured on it.
+type DatasetSize struct {
+	Name        string `json:"name"`
+	Entities1   int    `json:"entities1"`
+	Entities2   int    `json:"entities2"`
+	GoldMatches int    `json:"gold_matches"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	benchPath := flag.String("bench", "", "go test -bench output to parse (required)")
+	shardsPath := flag.String("shards", "", "shard-scalability JSON from remp-bench -experiment shards -json")
+	baselinePath := flag.String("baseline", "", "baseline BENCH json to gate against")
+	outPath := flag.String("out", "BENCH_remp.json", "output path")
+	maxRegression := flag.Float64("max-regression", 0.25, "maximum allowed relative slowdown vs baseline")
+	flag.Parse()
+
+	if *benchPath == "" {
+		fatalf("benchreport: -bench is required")
+	}
+	report := &Report{Version: 1, Go: runtime.Version()}
+
+	raw, err := os.ReadFile(*benchPath)
+	if err != nil {
+		fatalf("benchreport: %v", err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		report.Benchmarks = append(report.Benchmarks, Benchmark{Name: m[1], NsPerOp: ns})
+	}
+	if len(report.Benchmarks) == 0 {
+		fatalf("benchreport: no benchmark lines found in %s", *benchPath)
+	}
+	sort.Slice(report.Benchmarks, func(i, j int) bool { return report.Benchmarks[i].Name < report.Benchmarks[j].Name })
+
+	if *shardsPath != "" {
+		data, err := os.ReadFile(*shardsPath)
+		if err != nil {
+			fatalf("benchreport: %v", err)
+		}
+		var shard experiments.ShardReport
+		if err := json.Unmarshal(data, &shard); err != nil {
+			fatalf("benchreport: parsing %s: %v", *shardsPath, err)
+		}
+		report.Scalability = &shard
+	}
+
+	for _, ds := range datasets.All(experiments.DefaultSeed) {
+		report.Datasets = append(report.Datasets, DatasetSize{
+			Name:        ds.Name,
+			Entities1:   ds.K1.NumEntities(),
+			Entities2:   ds.K2.NumEntities(),
+			GoldMatches: ds.Gold.Size(),
+		})
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("benchreport: %v", err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fatalf("benchreport: %v", err)
+	}
+	fmt.Printf("benchreport: wrote %s (%d benchmarks)\n", *outPath, len(report.Benchmarks))
+
+	failed := false
+	if report.Scalability != nil {
+		for _, pt := range report.Scalability.Points {
+			if !pt.Equivalent {
+				fmt.Printf("benchreport: FAIL sharded run at %d shards diverged from the monolithic result\n", pt.Shards)
+				failed = true
+			}
+		}
+	}
+	if *baselinePath != "" {
+		if gate(report, *baselinePath, *maxRegression) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// gate compares the current report to the baseline and reports
+// regressions; it returns true when the gate should fail the build.
+func gate(report *Report, baselinePath string, maxRegression float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatalf("benchreport: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatalf("benchreport: parsing %s: %v", baselinePath, err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	type cmp struct {
+		name  string
+		ratio float64
+	}
+	var shared []cmp
+	for _, b := range report.Benchmarks {
+		if bn, ok := baseNs[b.Name]; ok && bn > 0 && b.NsPerOp > 0 {
+			shared = append(shared, cmp{name: b.Name, ratio: b.NsPerOp / bn})
+		}
+	}
+	if len(shared) == 0 {
+		fmt.Println("benchreport: no benchmarks shared with the baseline; gate skipped")
+		return false
+	}
+	// Median ratio calibrates away the host-speed difference between this
+	// run and the machine that recorded the baseline.
+	ratios := make([]float64, len(shared))
+	for i, c := range shared {
+		ratios[i] = c.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if median <= 0 {
+		median = 1
+	}
+	failed := false
+	for _, c := range shared {
+		normalized := c.ratio / median
+		status := "ok"
+		if normalized > 1+maxRegression {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchreport: %-55s ratio %.3f (normalized %.3f) %s\n", c.name, c.ratio, normalized, status)
+	}
+	if failed {
+		fmt.Printf("benchreport: FAIL benchmarks regressed more than %.0f%% vs %s (median-normalized)\n", 100*maxRegression, baselinePath)
+	} else {
+		fmt.Printf("benchreport: gate green vs %s (%d benchmarks, median ratio %.3f)\n", baselinePath, len(shared), median)
+	}
+	return failed
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

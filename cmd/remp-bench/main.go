@@ -1,5 +1,6 @@
 // Command remp-bench regenerates the paper's evaluation artifacts: every
-// table and figure of §VIII, on the synthetic dataset suite.
+// table and figure of §VIII, on the synthetic dataset suite, plus the
+// reproduction's own shard-scalability experiment.
 //
 // Usage:
 //
@@ -7,9 +8,11 @@
 //	remp-bench -experiment table3       # one artifact
 //	remp-bench -list                    # available experiments
 //	remp-bench -experiment table6 -seed 7
+//	remp-bench -experiment shards -json shards.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +25,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "random seed for datasets, workers and samplers")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards experiment only)")
 	flag.Parse()
 
 	if *list {
@@ -31,17 +35,46 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	if *experiment == "all" {
-		experiments.All(os.Stdout, *seed)
-	} else {
+	// Validate everything before the timer starts: an unknown experiment
+	// (or a -json flag the experiment cannot honor) must fail fast with a
+	// non-zero exit and the valid IDs, not after minutes of benchmarking.
+	var run func()
+	switch {
+	case *experiment == "all":
+		if *jsonPath != "" {
+			fatalf("remp-bench: -json is only supported with -experiment shards")
+		}
+		run = func() { experiments.All(os.Stdout, *seed) }
+	case *experiment == "shards" && *jsonPath != "":
+		run = func() {
+			report := experiments.ShardScalability(os.Stdout, *seed)
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatalf("remp-bench: encoding report: %v", err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				fatalf("remp-bench: writing %s: %v", *jsonPath, err)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
+	default:
 		runner, ok := experiments.Registry()[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "remp-bench: unknown experiment %q; available: %v\n",
-				*experiment, experiments.Names())
-			os.Exit(2)
+			fatalf("remp-bench: unknown experiment %q; available: %v", *experiment, experiments.Names())
 		}
-		runner(os.Stdout, *seed)
+		if *jsonPath != "" {
+			fatalf("remp-bench: -json is only supported with -experiment shards")
+		}
+		run = func() { runner(os.Stdout, *seed) }
 	}
+
+	start := time.Now()
+	run()
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

@@ -30,6 +30,7 @@ func main() {
 	log.SetPrefix("remp-server: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	shards := flag.Int("shards", 0, "default shard count for sessions that do not specify one (0 = auto, 1 = monolithic)")
 	flag.Parse()
 
 	logf := log.Printf
@@ -37,5 +38,6 @@ func main() {
 		logf = nil
 	}
 	srv := server.New(logf)
+	srv.SetDefaultShards(*shards)
 	log.Fatal(srv.ListenAndServe(*addr))
 }

@@ -39,6 +39,7 @@ func main() {
 	mu := flag.Int("mu", 10, "questions per human-machine loop µ")
 	budget := flag.Int("budget", 0, "question budget (0 = unlimited)")
 	maxLoops := flag.Int("max-loops", 0, "cap on human-machine loops (0 = unlimited)")
+	shards := flag.Int("shards", 0, "graph shards resolved concurrently (0 = auto, 1 = monolithic)")
 	errorRate := flag.Float64("error-rate", 0, "simulated worker error rate (0 = MTurk-quality pool)")
 	strategy := flag.String("strategy", "greedy", "question selection: greedy | maxinf | maxpr")
 	showMatches := flag.Bool("show-matches", false, "print the resolved matches")
@@ -54,7 +55,7 @@ func main() {
 
 	opts := remp.Options{
 		K: *k, Tau: *tau, Mu: *mu, Budget: *budget, MaxLoops: *maxLoops,
-		Strategy: *strategy, Seed: *seed,
+		Strategy: *strategy, Seed: *seed, Shards: *shards,
 	}
 	crowd := remp.NewSimulatedCrowd(ds.Gold.IsMatch, remp.CrowdConfig{
 		ErrorRate: *errorRate, Seed: *seed,

@@ -64,6 +64,19 @@ type Config struct {
 	// dominance — a pair dominating a confirmed match becomes a match, a
 	// pair dominated by a confirmed non-match becomes a non-match.
 	Hybrid bool
+	// Shards splits the candidate-pair graph into independent shards of
+	// connected components (relational edges plus entity sharing) whose
+	// propagation, selection and answer application run concurrently
+	// under one global budget/µ-batch scheduler; the results are
+	// identical to the unsharded run. 0 selects automatically from the
+	// graph size (single-shard below a few thousand vertices), 1 disables
+	// sharding, negative is rejected by Validate.
+	Shards int
+	// Sched bounds the goroutines sharded loops fan out; sessions under
+	// one Manager share a scheduler so concurrent loops cannot
+	// oversubscribe the machine. Nil selects a process-wide default sized
+	// at GOMAXPROCS.
+	Sched *Scheduler
 	// debugFullResync degrades the incremental propagation engine to a
 	// full rebuild at the top of every loop — the historical recompute
 	// policy — so tests can assert the incremental results are identical.
@@ -112,6 +125,9 @@ func (c Config) Validate() error {
 	}
 	if math.IsNaN(c.LabelSimThreshold) || c.LabelSimThreshold < 0 || c.LabelSimThreshold > 1 {
 		return fmt.Errorf("core: LabelSimThreshold = %v out of range: the label-similarity threshold must lie in [0, 1] (0 selects the default 0.3)", c.LabelSimThreshold)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards = %d is negative: the shard count must be positive (0 selects automatic sharding, 1 disables it)", c.Shards)
 	}
 	return nil
 }

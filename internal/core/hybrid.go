@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/pair"
-	"repro/internal/propagation"
 )
 
 // monotoneInference implements the hybrid extension the paper sketches as
@@ -13,37 +12,42 @@ import (
 // confirmed non-match is a non-match. Inference stays within an entity's
 // competitor blocks (the same locality restriction that keeps the partial
 // order's error rate near-perfect in Table V), and newly inferred matches
-// respect the 1:1 constraint.
-func (p *Prepared) monotoneInference(res *Result, eng *propagation.Engine) {
-	if res.Confirmed.Len() == 0 && res.NonMatches.Len() == 0 {
+// respect the 1:1 constraint. Entity blocks may span shards, and the
+// pass's fixpoint is sensitive to iteration order, so it deliberately
+// walks the global vertex order — exactly the monolithic pass — routing
+// each detach to the owning shard's engine.
+func (l *Loop) monotoneInference() {
+	if l.res.Confirmed.Len() == 0 && l.res.NonMatches.Len() == 0 {
 		return
 	}
-	verts := p.Graph.Vertices()
-	for _, v := range verts {
-		if res.Matches.Has(v) || res.NonMatches.Has(v) {
+	res := l.res
+	for _, v := range l.p.Graph.Vertices() {
+		if l.resolved(v) {
 			continue
 		}
-		vec := p.Pruner.VectorOf(v)
+		vec := l.p.Pruner.VectorOf(v)
 		// Blocks: pairs sharing either entity with v.
-		for _, side := range [][]int{p.byEntity1[v.U1], p.byEntity2[v.U2]} {
-			for _, i := range side {
-				w := verts[i]
+		for _, side := range [][]pair.Pair{l.p.byEntity1[v.U1], l.p.byEntity2[v.U2]} {
+			for _, w := range side {
 				if w == v {
 					continue
 				}
-				wv := p.Pruner.VectorOf(w)
+				wv := l.p.Pruner.VectorOf(w)
 				switch {
 				case res.Confirmed.Has(w) && vec.StrictlyDominates(wv):
-					p.acceptMonotone(v, res, eng)
+					l.acceptMonotone(v)
 				case res.NonMatches.Has(w) && wv.StrictlyDominates(vec):
 					res.NonMatches.Add(v)
-					eng.DetachVertex(v)
+					l.touch(v)
+					if vsh := l.shardFor(v); vsh != nil && vsh.eng != nil {
+						vsh.eng.DetachVertex(v)
+					}
 				}
-				if res.Matches.Has(v) || res.NonMatches.Has(v) {
+				if l.resolved(v) {
 					break
 				}
 			}
-			if res.Matches.Has(v) || res.NonMatches.Has(v) {
+			if l.resolved(v) {
 				break
 			}
 		}
@@ -52,8 +56,10 @@ func (p *Prepared) monotoneInference(res *Result, eng *propagation.Engine) {
 
 // acceptMonotone records a monotone-inferred match under the 1:1
 // constraint; its provenance counts as propagation for reporting.
-func (p *Prepared) acceptMonotone(v pair.Pair, res *Result, eng *propagation.Engine) {
-	res.Propagated.Add(v)
-	res.Matches.Add(v)
-	p.resolveCompetitors(v, res, eng)
+func (l *Loop) acceptMonotone(v pair.Pair) {
+	l.res.Propagated.Add(v)
+	l.res.Matches.Add(v)
+	l.pendingSeeds = append(l.pendingSeeds, v)
+	l.touch(v)
+	l.resolveCompetitors(v)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/crowd"
 	"repro/internal/pair"
 	"repro/internal/propagation"
+	"repro/internal/selection"
 )
 
 // LoopState names the externally visible states of a Loop.
@@ -44,6 +45,31 @@ type Answer struct {
 	Labels []crowd.Label
 }
 
+// loopShard is one shard's live propagation state: the pipe (subgraph +
+// probabilistic graph) and the incremental engine over it. A shard whose
+// vertices are all resolved is settled: its engine is released (the
+// dist/rev ball maps are the loop's dominant memory) and every later
+// phase skips it.
+//
+// dirty tracks whether anything that feeds candidate gathering changed
+// since the shard's last gather: an answer applied to a shard vertex, a
+// competitor resolved into the shard, a damped prior, or an engine
+// rebuild. A clean shard's candidates — and its ranked selection — are
+// bit-identical to the previous loop's, so both are cached and reused; a
+// monolithic pipeline is dirtied by every answer, which is exactly the
+// per-loop cost sharding scopes down.
+type loopShard struct {
+	pipe    *shardPipe
+	eng     *propagation.Engine
+	settled bool
+
+	dirty   bool
+	cands   []selection.Candidate
+	anyProp bool
+	picks   []selection.Pick
+	picksMu int
+}
+
 // Loop is the human–machine loop of Run inverted into an explicit state
 // machine, so callers that cannot block on an Asker — crowd platforms
 // posting HITs, HTTP clients, concurrent jobs — can pull question batches
@@ -58,6 +84,16 @@ type Answer struct {
 // paper's stop criterion halts the loop and the isolated-pair classifier
 // finalizes the result.
 //
+// When the pipeline is sharded, each shard runs its propagation engine,
+// candidate gathering, question selection and re-estimation rebuild
+// independently — fanned across the Config's Scheduler — while one global
+// budget/µ-batch scheduler draws each batch across the shards by expected
+// benefit. Propagation evidence never crosses shards (the partition
+// follows the relational edges it flows along), and the only cross-shard
+// effect — the 1:1 constraint resolving a confirmed match's competitors —
+// runs on the serial answer-application path, so the sharded machine
+// resolves exactly the pairs the monolithic one would.
+//
 // A Loop is not safe for concurrent use; internal/session.Session adds the
 // locking, stable question IDs and snapshot/restore on top.
 type Loop struct {
@@ -65,18 +101,25 @@ type Loop struct {
 	res    *Result
 	priors map[pair.Pair]float64
 	hard   pair.Set
-	eng    *propagation.Engine
+	shards []*loopShard
 
 	open    []pair.Pair                 // published batch, in selection order
 	next    int                         // index into open of the next answer to apply
 	buf     map[pair.Pair][]crowd.Label // out-of-order answers awaiting their turn
 	history []Answer                    // applied answers, in application order
 	done    bool
+
+	// pendingSeeds are the matches confirmed or propagated since the last
+	// consistency refit; re-estimation uses them to skip labels whose
+	// observation sets provably did not change.
+	pendingSeeds []pair.Pair
+
+	recomputes int64 // Dijkstra runs of engines already released
 }
 
 // NewLoop starts the human–machine loop and advances it to its first
 // question batch (or directly to LoopDone when nothing can be asked).
-// Like Run, it mutates the Prepared's probabilistic graph; prepare one
+// Like Run, it mutates the Prepared's probabilistic graph(s); prepare one
 // Prepared per loop.
 func (p *Prepared) NewLoop() *Loop {
 	l := &Loop{
@@ -94,9 +137,50 @@ func (p *Prepared) NewLoop() *Loop {
 	for k, v := range p.Priors {
 		l.priors[k] = v
 	}
-	l.eng = propagation.NewEngine(p.Prob, p.Cfg.Tau)
+	l.shards = make([]*loopShard, len(p.pipes))
+	p.Cfg.scheduler().ForEach(len(p.pipes), func(s int) {
+		l.shards[s] = &loopShard{
+			pipe:  p.pipes[s],
+			eng:   propagation.NewEngine(p.pipes[s].prob, p.Cfg.Tau),
+			dirty: true,
+		}
+	})
 	l.openBatch()
 	return l
+}
+
+// NumShards returns the number of shards the loop runs over.
+func (l *Loop) NumShards() int { return len(l.shards) }
+
+// ShardSizes returns the vertex count per shard (the shard assignment
+// fingerprint session snapshots record).
+func (l *Loop) ShardSizes() []int { return l.p.ShardSizes() }
+
+// shardFor routes a pair to its shard. All pairs reachable from the loop's
+// control flow are graph vertices, so the lookup cannot miss; nil is
+// returned for foreign pairs as a guard.
+func (l *Loop) shardFor(q pair.Pair) *loopShard {
+	if len(l.shards) == 1 {
+		return l.shards[0]
+	}
+	s := l.p.Part.ShardOf(q)
+	if s < 0 {
+		return nil
+	}
+	return l.shards[s]
+}
+
+// resolved reports whether q has been decided either way.
+func (l *Loop) resolved(q pair.Pair) bool {
+	return l.res.Matches.Has(q) || l.res.NonMatches.Has(q)
+}
+
+// touch marks q's shard dirty: its cached candidates and selection no
+// longer describe the next loop.
+func (l *Loop) touch(q pair.Pair) {
+	if sh := l.shardFor(q); sh != nil {
+		sh.dirty = true
+	}
 }
 
 // State returns the loop's current state.
@@ -203,13 +287,16 @@ func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
 	cfg := l.p.Cfg
 	l.history = append(l.history, Answer{Pair: q, Labels: labels})
 	l.res.Questions++
+	l.touch(q)
 	inf := crowd.Infer(l.priors[q], labels, cfg.Thresholds)
 	switch inf.Verdict {
 	case crowd.IsMatch:
-		l.p.confirmMatch(q, l.res, l.eng)
+		l.confirmMatch(q)
 	case crowd.IsNonMatch:
 		l.res.NonMatches.Add(q)
-		l.eng.DetachVertex(q)
+		if sh := l.shardFor(q); sh != nil && sh.eng != nil {
+			sh.eng.DetachVertex(q)
+		}
 	default:
 		// Hard question: damp its prior so its benefit shrinks.
 		l.priors[q] = inf.Posterior
@@ -226,11 +313,10 @@ func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
 func (l *Loop) batchTail() {
 	cfg := l.p.Cfg
 	if cfg.Hybrid {
-		l.p.monotoneInference(l.res, l.eng)
+		l.monotoneInference()
 	}
 	if cfg.Reestimate && l.res.Confirmed.Len() > 0 {
-		l.p.reestimate(l.res)
-		l.eng.Reset(l.p.Prob)
+		l.reestimate()
 	}
 	if cfg.Budget > 0 && l.res.Questions >= cfg.Budget {
 		l.finish()
@@ -239,22 +325,91 @@ func (l *Loop) batchTail() {
 	l.openBatch()
 }
 
-// openBatch is the loop top of Run: sync the propagation engine, assemble
-// candidates, check the stop criterion, and select + pad the next µ
-// questions. It either publishes a batch or finishes the loop.
+// settle marks fully resolved shards settled and releases their engines:
+// no later phase reads them (candidates skip resolved vertices, answers
+// only target candidates, and a competitor of a future match that falls
+// in a settled shard is already resolved, so it is never detached), so
+// their ball maps — the loop's dominant memory — can be collected and
+// every per-shard phase skips them outright.
+func (l *Loop) settle() {
+	if len(l.shards) == 1 {
+		return // a fully resolved single shard finishes the loop instead
+	}
+	for _, sh := range l.shards {
+		if sh.settled || !sh.dirty {
+			// A clean shard saw no resolution since its last gather, so it
+			// cannot have newly settled.
+			continue
+		}
+		allResolved := true
+		for _, v := range sh.pipe.graph.Vertices() {
+			if !l.resolved(v) {
+				allResolved = false
+				break
+			}
+		}
+		if allResolved {
+			sh.settled = true
+			l.recomputes += sh.eng.Recomputes()
+			sh.eng = nil
+			sh.cands, sh.picks = nil, nil
+		}
+	}
+}
+
+// active returns the indexes of unsettled shards.
+func (l *Loop) active() []int {
+	out := make([]int, 0, len(l.shards))
+	for s, sh := range l.shards {
+		if !sh.settled {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// openBatch is the loop top of Run: settle finished shards, sync the
+// propagation engines, gather candidates and select per shard
+// concurrently, check the stop criterion, and draw the next µ questions
+// across shards by expected benefit. It either publishes a batch or
+// finishes the loop.
 func (l *Loop) openBatch() {
 	cfg := l.p.Cfg
 	if cfg.MaxLoops > 0 && l.res.Loops >= cfg.MaxLoops {
 		l.finish()
 		return
 	}
+	l.settle()
+	active := l.active()
 	if cfg.debugFullResync {
 		// Test hook: degrade to the historical recompute-everything policy
 		// so equivalence tests can diff the results.
-		l.eng.InvalidateAll()
+		for _, s := range active {
+			l.shards[s].eng.InvalidateAll()
+			l.shards[s].dirty = true
+		}
 	}
-	l.eng.Sync()
-	cands, anyPropagation := l.p.questionCandidates(l.res, l.priors, l.eng, l.hard)
+	sched := cfg.scheduler()
+	dirty := make([]int, 0, len(active))
+	for _, s := range active {
+		if l.shards[s].dirty {
+			dirty = append(dirty, s)
+		}
+	}
+	sched.ForEach(len(dirty), func(k int) {
+		sh := l.shards[dirty[k]]
+		sh.eng.Sync()
+		sh.cands, sh.anyProp = l.gatherShard(sh)
+		sh.picks = nil
+		sh.dirty = false
+	})
+	perShard := make([][]selection.Candidate, len(active))
+	anyPropagation := false
+	for k, s := range active {
+		perShard[k] = l.shards[s].cands
+		anyPropagation = anyPropagation || l.shards[s].anyProp
+	}
+	cands, pos := mergeCandidates(perShard)
 	if len(cands) == 0 || (!anyPropagation && !cfg.ExhaustBudget) {
 		l.finish()
 		return
@@ -267,7 +422,7 @@ func (l *Loop) openBatch() {
 			return
 		}
 	}
-	chosen := cfg.Strategy.Select(cands, mu)
+	chosen := l.selectBatch(cands, active, perShard, pos, mu)
 	if len(chosen) < mu {
 		// Remp always issues µ questions per human-machine loop (§VIII,
 		// Table VII): pad the batch with the highest-prior unchosen
@@ -287,14 +442,112 @@ func (l *Loop) openBatch() {
 	l.buf = make(map[pair.Pair][]crowd.Label, len(l.open))
 }
 
+// gatherShard assembles the candidate question list over one shard's
+// unresolved vertices, with inferred sets as global vertex indexes.
+// anyPropagation reports whether some question can still infer a pair
+// other than itself — the loop's stop signal. Inferred index lists are
+// sorted so the whole run is deterministic (benefit sums are
+// order-sensitive in floating point).
+func (l *Loop) gatherShard(sh *loopShard) ([]selection.Candidate, bool) {
+	verts := sh.pipe.graph.Vertices()
+	var cands []selection.Candidate
+	anyPropagation := false
+	for li, v := range verts {
+		if l.resolved(v) || l.hard.Has(v) {
+			continue
+		}
+		keys := sh.eng.SortedSetIndexes(li)
+		inf := make([]int, 1, len(keys)+1)
+		inf[0] = sh.pipe.global(li) // a match label always resolves the question itself
+		for _, lj := range keys {
+			if !l.resolved(verts[lj]) {
+				inf = append(inf, sh.pipe.global(lj))
+			}
+		}
+		if len(inf) > 1 {
+			anyPropagation = true
+		}
+		cands = append(cands, selection.Candidate{Pair: v, Prob: l.priors[v], Inferred: inf})
+	}
+	return cands, anyPropagation
+}
+
+// selectBatch chooses up to mu questions. Single-shard loops (and custom
+// strategies without ranked selection) run the strategy over the merged
+// candidate list, exactly as the monolithic loop always has. Sharded loops
+// with a Ranked strategy select per shard concurrently and merge the
+// per-shard sequences by committed score — the global µ-batch drawn
+// across shards by expected benefit. Because inferred sets never cross
+// shards, the merged sequence equals what the strategy would have chosen
+// on the merged list: scores depend only on same-shard predecessors, and
+// ties break on the global candidate order either way. A clean shard's
+// ranked sequence is reused from the previous loop (its candidates are
+// unchanged, so its scores are too).
+func (l *Loop) selectBatch(cands []selection.Candidate, active []int, perShard [][]selection.Candidate, pos [][]int, mu int) []int {
+	cfg := l.p.Cfg
+	ranked, ok := cfg.Strategy.(selection.Ranked)
+	if len(perShard) == 1 || !ok {
+		return cfg.Strategy.Select(cands, mu)
+	}
+	picks := make([][]selection.Pick, len(perShard))
+	stale := make([]int, 0, len(active))
+	for k, s := range active {
+		sh := l.shards[s]
+		if sh.picks == nil || sh.picksMu != mu {
+			stale = append(stale, k)
+		} else {
+			picks[k] = sh.picks
+		}
+	}
+	cfg.scheduler().ForEach(len(stale), func(i int) {
+		k := stale[i]
+		sh := l.shards[active[k]]
+		if len(perShard[k]) > 0 {
+			sh.picks = ranked.SelectRanked(perShard[k], mu)
+		} else {
+			sh.picks = []selection.Pick{}
+		}
+		sh.picksMu = mu
+		picks[k] = sh.picks
+	})
+	heads := make([]int, len(picks))
+	var chosen []int
+	for len(chosen) < mu {
+		best := -1
+		bestScore := 0.0
+		bestPos := 0
+		for k := range picks {
+			if heads[k] >= len(picks[k]) {
+				continue
+			}
+			pk := picks[k][heads[k]]
+			gp := pos[k][pk.Index]
+			if best < 0 || pk.Score > bestScore || (pk.Score == bestScore && gp < bestPos) {
+				best, bestScore, bestPos = k, pk.Score, gp
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, bestPos)
+		heads[best]++
+	}
+	return chosen
+}
+
 // finish runs the finalization Run performs after the loop breaks, records
-// the engine's Dijkstra count and releases the engine's ball maps.
+// the engines' Dijkstra counts and releases their ball maps.
 func (l *Loop) finish() {
 	l.open = nil
 	l.buf = nil
 	l.next = 0
-	l.p.runRecomputes = l.eng.Recomputes()
-	l.eng = nil
+	for _, sh := range l.shards {
+		if sh.eng != nil {
+			l.recomputes += sh.eng.Recomputes()
+			sh.eng = nil
+		}
+	}
+	l.p.runRecomputes = l.recomputes
 	if l.p.Cfg.ClassifyIsolated {
 		l.p.classifyIsolated(l.res)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ergraph"
 	"repro/internal/kb"
 	"repro/internal/pair"
+	"repro/internal/partition"
 	"repro/internal/propagation"
 	"repro/internal/simvec"
 )
@@ -25,19 +26,33 @@ type Prepared struct {
 	Retained    []pair.Pair
 	Graph       *ergraph.Graph
 	Consistency map[ergraph.RelPair]consistency.Estimate
-	Prob        *propagation.ProbGraph
-	Priors      map[pair.Pair]float64
+	// Prob is the monolithic probabilistic ER graph. It is populated only
+	// by single-shard pipelines (the default for laptop-scale graphs);
+	// sharded pipelines keep one probabilistic subgraph per shard instead,
+	// which bounds the peak size of any one engine's ball maps.
+	Prob   *propagation.ProbGraph
+	Priors map[pair.Pair]float64
+
+	// Part is the shard assignment of the candidate-pair graph (connected
+	// components over relational edges plus entity sharing, binned into
+	// weight-balanced shards); nil when the pipeline is single-shard.
+	Part *partition.Partition
+	// pipes holds the per-shard pipelines the loop runs concurrently; a
+	// single-shard pipeline has exactly one pipe wrapping p.Graph/p.Prob.
+	pipes []*shardPipe
 
 	// byEntity1/byEntity2 index graph vertices by their K1/K2 entity, used
 	// to resolve same-entity competitors when a match is confirmed (the
 	// 1:1 entity constraint that keeps non-match chains from being polled).
-	byEntity1 map[kb.EntityID][]int
-	byEntity2 map[kb.EntityID][]int
+	// Competitors may live in other shards; the loop routes their
+	// detachment on the serial answer-application path.
+	byEntity1 map[kb.EntityID][]pair.Pair
+	byEntity2 map[kb.EntityID][]pair.Pair
 
 	// runRecomputes is the number of single-source Dijkstra runs the most
 	// recent Run performed, kept for diagnostics and the tests that assert
-	// only dirty sources are recomputed. The engine itself is not retained
-	// past the run, so its ball maps can be collected.
+	// only dirty sources are recomputed. The engines themselves are not
+	// retained past the run, so their ball maps can be collected.
 	runRecomputes int64
 }
 
@@ -74,18 +89,15 @@ func Prepare(k1, k2 *kb.KB, cfg Config) *Prepared {
 		p.Priors[q] = p.Blocking.Priors[q]
 	}
 
-	p.byEntity1 = make(map[kb.EntityID][]int)
-	p.byEntity2 = make(map[kb.EntityID][]int)
-	for i, v := range p.Graph.Vertices() {
-		p.byEntity1[v.U1] = append(p.byEntity1[v.U1], i)
-		p.byEntity2[v.U2] = append(p.byEntity2[v.U2], i)
+	p.byEntity1 = make(map[kb.EntityID][]pair.Pair)
+	p.byEntity2 = make(map[kb.EntityID][]pair.Pair)
+	for _, v := range p.Graph.Vertices() {
+		p.byEntity1[v.U1] = append(p.byEntity1[v.U1], v)
+		p.byEntity2[v.U2] = append(p.byEntity2[v.U2], v)
 	}
 
 	p.Consistency = p.fitConsistency(p.Blocking.Initial)
-	p.Prob = propagation.BuildProb(p.Graph, k1, k2, propagation.Params{
-		Priors:      p.Priors,
-		Consistency: p.Consistency,
-	})
+	p.initShards()
 	return p
 }
 
@@ -113,30 +125,64 @@ func PrepareOnRetained(k1, k2 *kb.KB, cfg Config, retained []pair.Pair, blk *blo
 	for _, q := range p.Retained {
 		p.Priors[q] = blk.Priors[q]
 	}
-	p.byEntity1 = make(map[kb.EntityID][]int)
-	p.byEntity2 = make(map[kb.EntityID][]int)
-	for i, v := range p.Graph.Vertices() {
-		p.byEntity1[v.U1] = append(p.byEntity1[v.U1], i)
-		p.byEntity2[v.U2] = append(p.byEntity2[v.U2], i)
+	p.byEntity1 = make(map[kb.EntityID][]pair.Pair)
+	p.byEntity2 = make(map[kb.EntityID][]pair.Pair)
+	for _, v := range p.Graph.Vertices() {
+		p.byEntity1[v.U1] = append(p.byEntity1[v.U1], v)
+		p.byEntity2[v.U2] = append(p.byEntity2[v.U2], v)
 	}
 	p.Consistency = p.fitConsistency(blk.Initial)
-	p.Prob = propagation.BuildProb(p.Graph, k1, k2, propagation.Params{
-		Priors:      p.Priors,
-		Consistency: p.Consistency,
-	})
+	p.initShards()
 	return p
 }
 
 // fitConsistency estimates (ε1, ε2) for every edge label from the value
 // distribution over the given matches (§V-A). KnownL counts, per match,
 // the values whose counterpart is itself in the match set — the observed
-// lower bound for the latent variable.
+// lower bound for the latent variable. Labels are fitted independently,
+// so the fits fan out across the pipeline scheduler.
 func (p *Prepared) fitConsistency(seeds []pair.Pair) map[ergraph.RelPair]consistency.Estimate {
 	seedSet := pair.NewSet(seeds...)
-	out := make(map[ergraph.RelPair]consistency.Estimate)
-	for _, label := range p.Graph.Labels() {
-		obs := p.consistencyObservations(label, seeds, seedSet)
-		out[label] = consistency.Fit(obs, consistency.DefaultOptions())
+	labels := p.Graph.Labels()
+	ests := make([]consistency.Estimate, len(labels))
+	p.Cfg.scheduler().ForEach(len(labels), func(i int) {
+		obs := p.consistencyObservations(labels[i], seeds, seedSet)
+		ests[i] = consistency.Fit(obs, consistency.DefaultOptions())
+	})
+	out := make(map[ergraph.RelPair]consistency.Estimate, len(labels))
+	for i, label := range labels {
+		out[label] = ests[i]
+	}
+	return out
+}
+
+// refitConsistency recomputes estimates for the touched labels over the
+// full current seed list — producing exactly what a full refit would for
+// them — and carries the rest over from old, whose observations are
+// unchanged by construction of the touched set. touched == nil recomputes
+// every label.
+func (p *Prepared) refitConsistency(seeds []pair.Pair, old map[ergraph.RelPair]consistency.Estimate, touched map[ergraph.RelPair]bool) map[ergraph.RelPair]consistency.Estimate {
+	if touched == nil {
+		return p.fitConsistency(seeds)
+	}
+	labels := p.Graph.Labels()
+	out := make(map[ergraph.RelPair]consistency.Estimate, len(labels))
+	work := make([]ergraph.RelPair, 0, len(touched))
+	for _, label := range labels {
+		if touched[label] {
+			work = append(work, label)
+		} else {
+			out[label] = old[label]
+		}
+	}
+	seedSet := pair.NewSet(seeds...)
+	ests := make([]consistency.Estimate, len(work))
+	p.Cfg.scheduler().ForEach(len(work), func(i int) {
+		obs := p.consistencyObservations(work[i], seeds, seedSet)
+		ests[i] = consistency.Fit(obs, consistency.DefaultOptions())
+	})
+	for i, label := range work {
+		out[label] = ests[i]
 	}
 	return out
 }

@@ -35,14 +35,13 @@ type Result struct {
 //
 // Run is the synchronous driver over the Loop state machine (loop.go): it
 // pulls each published batch and pushes the Asker's answers back in
-// selection order. Bounded-distance inference is owned by an incremental
-// propagation.Engine: resolving a pair invalidates only the sources whose
-// ζ-balls the pair participates in, and the Sync at the top of each loop
-// recomputes just those, instead of the full InferAll re-run the loop used
-// to pay whenever an edge changed. Re-estimation rebuilds the whole
-// probabilistic graph, so it resets the engine for a parallel full
-// rebuild. Each batch of µ questions is resolved against the snapshot
-// taken at the loop top, exactly as before.
+// selection order. Bounded-distance inference is owned by incremental
+// propagation.Engines — one per shard — and the Sync at the top of each
+// loop recomputes just the dirty sources, instead of the full InferAll
+// re-run the loop used to pay whenever an edge changed. Re-estimation
+// refits consistency globally and rebuilds only the shards whose labels
+// actually changed. Each batch of µ questions is resolved against the
+// snapshot taken at the loop top, exactly as before.
 func (p *Prepared) Run(asker Asker) *Result {
 	l := p.NewLoop()
 	for !l.Done() {
@@ -93,55 +92,30 @@ func padBatch(cands []selection.Candidate, chosen []int, mu int) []int {
 	return chosen
 }
 
-// questionCandidates assembles the candidate question list over the
-// unresolved vertices. anyPropagation reports whether some question can
-// still infer a pair other than itself — the loop's stop signal. Inferred
-// index lists are sorted so the whole run is deterministic (benefit sums
-// are order-sensitive in floating point).
-func (p *Prepared) questionCandidates(res *Result, priors map[pair.Pair]float64, eng *propagation.Engine, hard pair.Set) ([]selection.Candidate, bool) {
-	resolved := func(q pair.Pair) bool {
-		return res.Matches.Has(q) || res.NonMatches.Has(q)
-	}
-	var cands []selection.Candidate
-	anyPropagation := false
-	verts := p.Graph.Vertices()
-	for i, v := range verts {
-		if resolved(v) || hard.Has(v) {
-			continue
-		}
-		keys := eng.SortedSetIndexes(i)
-		inf := make([]int, 1, len(keys)+1)
-		inf[0] = i // a match label always resolves the question itself
-		for _, j := range keys {
-			if !resolved(verts[j]) {
-				inf = append(inf, j)
-			}
-		}
-		if len(inf) > 1 {
-			anyPropagation = true
-		}
-		cands = append(cands, selection.Candidate{Pair: v, Prob: priors[v], Inferred: inf})
-	}
-	return cands, anyPropagation
-}
-
 // confirmMatch records a worker-confirmed match and propagates it: every
 // unresolved pair with Pr[m_p | m_q] ≥ τ becomes an inferred match,
 // processed in decreasing probability so that the 1:1 entity constraint
 // lets the most probable pair of an entity win. Competitor vertices
 // sharing an entity with a new match are resolved as non-matches and
 // detached (the "re-estimate edges with new matches and non-matches" step
-// of §VII-A). Propagation reads the engine's last-Sync snapshot.
-func (p *Prepared) confirmMatch(q pair.Pair, res *Result, eng *propagation.Engine) {
-	res.Confirmed.Add(q)
-	res.Matches.Add(q)
-	p.resolveCompetitors(q, res, eng)
-	qi := p.Graph.IndexOf(q)
+// of §VII-A). Propagation reads the shard engine's last-Sync snapshot;
+// the whole cascade stays within q's shard by construction.
+func (l *Loop) confirmMatch(q pair.Pair) {
+	l.res.Confirmed.Add(q)
+	l.res.Matches.Add(q)
+	l.pendingSeeds = append(l.pendingSeeds, q)
+	l.resolveCompetitors(q)
+	sh := l.shardFor(q)
+	if sh == nil || sh.eng == nil {
+		return
+	}
+	g := sh.pipe.graph
+	qi := g.IndexOf(q)
 	if qi < 0 {
 		return
 	}
-	verts := p.Graph.Vertices()
-	set := eng.SetIndexes(qi)
+	verts := g.Vertices()
+	set := sh.eng.SetIndexes(qi)
 	order := make([]int, 0, len(set))
 	for j := range set {
 		order = append(order, j)
@@ -154,50 +128,58 @@ func (p *Prepared) confirmMatch(q pair.Pair, res *Result, eng *propagation.Engin
 	})
 	for _, j := range order {
 		pj := verts[j]
-		if res.Matches.Has(pj) || res.NonMatches.Has(pj) {
+		if l.resolved(pj) {
 			continue
 		}
-		res.Propagated.Add(pj)
-		res.Matches.Add(pj)
-		p.resolveCompetitors(pj, res, eng)
+		l.res.Propagated.Add(pj)
+		l.res.Matches.Add(pj)
+		l.pendingSeeds = append(l.pendingSeeds, pj)
+		l.resolveCompetitors(pj)
 	}
 }
 
 // resolveCompetitors marks every unresolved vertex sharing an entity with
 // the match m as a non-match and detaches it from the propagation fabric.
-func (p *Prepared) resolveCompetitors(m pair.Pair, res *Result, eng *propagation.Engine) {
-	verts := p.Graph.Vertices()
-	for _, side := range [][]int{p.byEntity1[m.U1], p.byEntity2[m.U2]} {
-		for _, i := range side {
-			v := verts[i]
-			if v == m || res.Matches.Has(v) || res.NonMatches.Has(v) {
+// Competitor chains may cross shards (the partition follows relational
+// edges only); detaches run on the serial answer-application path and
+// route to the owning shard's engine, so cross-shard competitors resolve
+// exactly as in the monolithic loop.
+func (l *Loop) resolveCompetitors(m pair.Pair) {
+	for _, side := range [][]pair.Pair{l.p.byEntity1[m.U1], l.p.byEntity2[m.U2]} {
+		for _, v := range side {
+			if v == m || l.resolved(v) {
 				continue
 			}
-			res.NonMatches.Add(v)
-			eng.DetachVertex(v)
+			l.res.NonMatches.Add(v)
+			l.touch(v)
+			if sh := l.shardFor(v); sh != nil && sh.eng != nil {
+				sh.eng.DetachVertex(v)
+			}
 		}
-	}
-}
-
-// detachVertex removes a resolved non-match from the propagation fabric
-// directly, without engine bookkeeping. It is only for contexts where the
-// engine is about to be fully rebuilt (re-estimation) or absent; inside
-// the loop, use Engine.DetachVertex so invalidation is tracked.
-func (p *Prepared) detachVertex(q pair.Pair) {
-	for _, e := range p.Graph.Out(q) {
-		p.Prob.SetProb(q, e.To, 0)
-	}
-	for _, e := range p.Graph.In(q) {
-		p.Prob.SetProb(e.From, q, 0)
 	}
 }
 
 // reestimate re-fits consistency from the enlarged seed set (initial
 // matches plus confirmed and propagated matches) and rebuilds the edge
-// probabilities, keeping detached vertices detached (§VII-A). The caller
-// must Reset the engine onto the rebuilt graph afterwards.
-func (p *Prepared) reestimate(res *Result) {
-	seeds := make([]pair.Pair, 0, len(p.Blocking.Initial)+res.Matches.Len())
+// probabilities, keeping detached vertices detached (§VII-A). Both steps
+// are scoped exactly:
+//
+//   - The refit skips labels none of the newly confirmed or propagated
+//     matches touch. A label's observations are its seeds' neighborhoods
+//     plus the seed-set membership of their neighbor pairs; a new seed
+//     can only perturb either by participating in the label's relations,
+//     so an untouched label's observations — and its deterministic fit —
+//     are unchanged.
+//   - A shard rebuilds (concurrently with its siblings) only when some
+//     label it contains was re-fitted to different (ε1, ε2); otherwise
+//     its incremental engine state, which already carries every
+//     detachment, is bit-identical to what the rebuild would produce.
+//
+// The debugFullResync hook disables both scopes, so the equivalence tests
+// diff the scoped machine against the recompute-everything policy.
+func (l *Loop) reestimate() {
+	p := l.p
+	seeds := make([]pair.Pair, 0, len(p.Blocking.Initial)+l.res.Matches.Len())
 	seen := pair.Set{}
 	for _, m := range p.Blocking.Initial {
 		if !seen.Has(m) {
@@ -205,20 +187,72 @@ func (p *Prepared) reestimate(res *Result) {
 			seeds = append(seeds, m)
 		}
 	}
-	for _, m := range res.Matches.Sorted() {
+	for _, m := range l.res.Matches.Sorted() {
 		if !seen.Has(m) {
 			seen.Add(m)
 			seeds = append(seeds, m)
 		}
 	}
-	p.Consistency = p.fitConsistency(seeds)
-	p.Prob = propagation.BuildProb(p.Graph, p.K1, p.K2, propagation.Params{
-		Priors:      p.Priors,
-		Consistency: p.Consistency,
+	old := p.Consistency
+	p.Consistency = p.refitConsistency(seeds, old, l.touchedLabels())
+	l.pendingSeeds = l.pendingSeeds[:0]
+	p.Cfg.scheduler().ForEach(len(l.shards), func(s int) {
+		sh := l.shards[s]
+		if sh.settled {
+			return
+		}
+		if !p.Cfg.debugFullResync && !sh.pipe.labelsChanged(old, p.Consistency) {
+			return
+		}
+		prob := propagation.BuildProb(sh.pipe.graph, p.K1, p.K2, propagation.Params{
+			Priors:      p.Priors,
+			Consistency: p.Consistency,
+		})
+		// Re-detach the shard's resolved non-matches. Walking the shard's
+		// own vertices keeps this O(shard size): the global NonMatches set
+		// approaches the whole graph late in a run, and foreign pairs have
+		// no edges here anyway.
+		for _, q := range sh.pipe.graph.Vertices() {
+			if !l.res.NonMatches.Has(q) {
+				continue
+			}
+			for _, e := range sh.pipe.graph.Out(q) {
+				prob.SetProb(q, e.To, 0)
+			}
+			for _, e := range sh.pipe.graph.In(q) {
+				prob.SetProb(e.From, q, 0)
+			}
+		}
+		sh.pipe.prob = prob
+		sh.eng.Reset(prob)
+		sh.dirty = true
 	})
-	for q := range res.NonMatches {
-		p.detachVertex(q)
+	if len(l.shards) == 1 {
+		p.Prob = l.shards[0].pipe.prob
 	}
+}
+
+// touchedLabels returns the edge labels whose consistency observations
+// could have changed since the last refit: those some pending seed's
+// entities participate in (in either direction — a new seed adds an
+// observation row through its own neighborhoods and flips KnownL counts
+// by being a neighbor pair of an existing seed). nil means all labels
+// (the debugFullResync policy).
+func (l *Loop) touchedLabels() map[ergraph.RelPair]bool {
+	if l.p.Cfg.debugFullResync {
+		return nil
+	}
+	touched := make(map[ergraph.RelPair]bool)
+	for _, label := range l.p.Graph.Labels() {
+		for _, m := range l.pendingSeeds {
+			if len(l.p.K1.Out(m.U1, label.R1)) > 0 || len(l.p.K1.In(m.U1, label.R1)) > 0 ||
+				len(l.p.K2.Out(m.U2, label.R2)) > 0 || len(l.p.K2.In(m.U2, label.R2)) > 0 {
+				touched[label] = true
+				break
+			}
+		}
+	}
+	return touched
 }
 
 // Labels of the probabilistic graph are re-exported for diagnostics.

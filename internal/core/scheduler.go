@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Scheduler bounds the goroutines the sharded pipeline fans out: per-shard
+// propagation syncs, candidate gathering, question selection and
+// re-estimation rebuilds all draw workers from one token pool. Sessions
+// running under one session.Manager share a single Scheduler, so many
+// concurrent loops cannot oversubscribe the machine — the pool is the
+// "single global scheduler" the shards are driven by. A Scheduler is safe
+// for concurrent use.
+type Scheduler struct {
+	sem chan struct{}
+}
+
+// NewScheduler returns a scheduler with the given worker bound; workers
+// <= 0 selects GOMAXPROCS.
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{sem: make(chan struct{}, workers)}
+}
+
+// defaultScheduler serves loops whose Config carries no scheduler:
+// standalone sessions and direct Prepared.Run callers.
+var defaultScheduler = NewScheduler(0)
+
+// ForEach runs fn(0) … fn(n-1), fanning across up to the scheduler's
+// worker bound. It returns when every call has finished. fn must not call
+// ForEach on the same scheduler (a worker token is held for the duration
+// of one fn). n == 1 runs inline with no goroutine.
+func (s *Scheduler) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-s.sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// scheduler resolves the Config's scheduler, falling back to the
+// process-wide default.
+func (c *Config) scheduler() *Scheduler {
+	if c.Sched != nil {
+		return c.Sched
+	}
+	return defaultScheduler
+}

@@ -113,6 +113,41 @@ func sortEdges(es []Edge) {
 	})
 }
 
+// Subgraph returns the induced subgraph on the given vertices (a subset
+// of g's vertex set, in any order): edges with either endpoint outside the
+// subset are dropped, and surviving edge slices keep the parent's sorted
+// order. Extracting a connected component this way is loss-free — every
+// incident edge survives — so a per-shard pipeline built on a component
+// subgraph sees exactly the evidence the monolithic graph would.
+func (g *Graph) Subgraph(vertices []pair.Pair) *Graph {
+	sub := &Graph{
+		vertices: append([]pair.Pair(nil), vertices...),
+		index:    make(map[pair.Pair]int, len(vertices)),
+		out:      make([][]Edge, len(vertices)),
+		in:       make([][]Edge, len(vertices)),
+	}
+	for i, v := range sub.vertices {
+		sub.index[v] = i
+	}
+	for i, v := range sub.vertices {
+		gi, ok := g.index[v]
+		if !ok {
+			continue
+		}
+		for _, e := range g.out[gi] {
+			if _, keep := sub.index[e.To]; keep {
+				sub.out[i] = append(sub.out[i], e)
+			}
+		}
+		for _, e := range g.in[gi] {
+			if _, keep := sub.index[e.From]; keep {
+				sub.in[i] = append(sub.in[i], e)
+			}
+		}
+	}
+	return sub
+}
+
 // Vertices returns the vertex list (do not modify).
 func (g *Graph) Vertices() []pair.Pair { return g.vertices }
 

@@ -1,14 +1,73 @@
 // Package eval provides evaluation utilities beyond basic P/R/F1: the
 // error rate of the optimal monotone classifier (Tao, PODS 2018) used in
 // Table V to measure how well the partial order respects the gold
-// standard.
+// standard, and the cross-shard monotonicity check that turns the sharded
+// pipeline's equivalence guarantee into an assertable property.
 package eval
 
 import (
+	"fmt"
+
 	"repro/internal/assign"
+	"repro/internal/kb"
 	"repro/internal/pair"
 	"repro/internal/simvec"
 )
+
+// Outcome is the resolved state a resolution run ends with: the final
+// match set and the pairs resolved negative.
+type Outcome struct {
+	Matches    pair.Set
+	NonMatches pair.Set
+}
+
+// ShardDivergence is the cross-shard monotonicity check: a sharded run
+// must resolve exactly the pairs the unsharded reference does — the match
+// and non-match sets are identical, hence precision, recall and F1
+// against any gold standard are identical too, and no pair's verdict
+// "moves" when the shard count changes. It returns nil when the outcomes
+// are equivalent and a descriptive error naming the first divergent pair
+// otherwise.
+func ShardDivergence(reference, sharded Outcome) error {
+	for _, d := range []struct {
+		name string
+		ref  pair.Set
+		got  pair.Set
+	}{
+		{"matches", reference.Matches, sharded.Matches},
+		{"non-matches", reference.NonMatches, sharded.NonMatches},
+	} {
+		if d.ref.Len() != d.got.Len() {
+			return fmt.Errorf("eval: sharded run resolved %d %s, unsharded resolved %d", d.got.Len(), d.name, d.ref.Len())
+		}
+		for _, p := range d.ref.Sorted() {
+			if !d.got.Has(p) {
+				return fmt.Errorf("eval: pair %v is in the unsharded %s but not the sharded ones", p, d.name)
+			}
+		}
+	}
+	return nil
+}
+
+// OneToOne verifies the 1:1 entity constraint across a match set: no two
+// matches share an entity on either side. Sharding must preserve it even
+// though competitor chains cross shards; the first violating pair of
+// matches is reported.
+func OneToOne(matches pair.Set) error {
+	seen1 := make(map[kb.EntityID]pair.Pair)
+	seen2 := make(map[kb.EntityID]pair.Pair)
+	for _, m := range matches.Sorted() {
+		if prev, ok := seen1[m.U1]; ok {
+			return fmt.Errorf("eval: matches %v and %v share the K1 entity %d", prev, m, m.U1)
+		}
+		if prev, ok := seen2[m.U2]; ok {
+			return fmt.Errorf("eval: matches %v and %v share the K2 entity %d", prev, m, m.U2)
+		}
+		seen1[m.U1] = m
+		seen2[m.U2] = m
+	}
+	return nil
+}
 
 // OptimalMonotoneError computes the minimal fraction of pairs that any
 // monotone classifier over the similarity vectors must misclassify.

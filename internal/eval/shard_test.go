@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+func pr(u1, u2 int) pair.Pair {
+	return pair.Pair{U1: kb.EntityID(u1), U2: kb.EntityID(u2)}
+}
+
+func TestShardDivergence(t *testing.T) {
+	ref := Outcome{
+		Matches:    pair.NewSet(pr(1, 1), pr(2, 2)),
+		NonMatches: pair.NewSet(pr(1, 2)),
+	}
+	same := Outcome{
+		Matches:    pair.NewSet(pr(2, 2), pr(1, 1)),
+		NonMatches: pair.NewSet(pr(1, 2)),
+	}
+	if err := ShardDivergence(ref, same); err != nil {
+		t.Fatalf("equivalent outcomes reported divergent: %v", err)
+	}
+
+	missing := Outcome{
+		Matches:    pair.NewSet(pr(1, 1)),
+		NonMatches: pair.NewSet(pr(1, 2)),
+	}
+	if err := ShardDivergence(ref, missing); err == nil {
+		t.Fatal("missing match not reported")
+	}
+
+	swapped := Outcome{
+		Matches:    pair.NewSet(pr(1, 1), pr(3, 3)),
+		NonMatches: pair.NewSet(pr(1, 2)),
+	}
+	err := ShardDivergence(ref, swapped)
+	if err == nil {
+		t.Fatal("swapped match not reported")
+	}
+	if !strings.Contains(err.Error(), "(2,2)") {
+		t.Errorf("error does not name the divergent pair: %v", err)
+	}
+}
+
+func TestOneToOne(t *testing.T) {
+	if err := OneToOne(pair.NewSet(pr(1, 1), pr(2, 2), pr(3, 3))); err != nil {
+		t.Fatalf("valid 1:1 matching rejected: %v", err)
+	}
+	if err := OneToOne(pair.NewSet(pr(1, 1), pr(1, 2))); err == nil {
+		t.Fatal("shared K1 entity not reported")
+	}
+	if err := OneToOne(pair.NewSet(pr(1, 1), pr(2, 1))); err == nil {
+		t.Fatal("shared K2 entity not reported")
+	}
+}

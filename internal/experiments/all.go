@@ -23,14 +23,17 @@ func Registry() map[string]Runner {
 		"table7":  func(w io.Writer, s int64) { Table7(w, s) },
 		"table8":  func(w io.Writer, s int64) { Table8(w, s) },
 		"figure6": func(w io.Writer, s int64) { Figure6(w, s) },
+		"shards":  func(w io.Writer, s int64) { ShardScalability(w, s) },
 	}
 }
 
-// Order lists experiment IDs in the paper's presentation order.
+// Order lists experiment IDs in the paper's presentation order, followed
+// by the reproduction's own scaling experiments.
 func Order() []string {
 	return []string{
 		"table3", "figure3", "table4", "table5", "figure4",
 		"table6", "figure5", "table7", "table8", "figure6",
+		"shards",
 	}
 }
 
@@ -66,6 +69,7 @@ func Describe(id string) string {
 		"table7":  "Table VII — batch size µ sweep",
 		"table8":  "Table VIII — isolated-pair classifier",
 		"figure6": "Figure 6 — runtime scalability of Algorithms 1–3",
+		"shards":  "Shard speedup — sharded loop runtime and equivalence on the clustered synthetic graph",
 	}
 	if d, ok := desc[id]; ok {
 		return d

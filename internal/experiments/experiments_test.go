@@ -156,8 +156,8 @@ func TestFigure6Shape(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 10 {
-		t.Errorf("registry has %d experiments, want 10", len(reg))
+	if len(reg) != len(Order()) {
+		t.Errorf("registry has %d experiments, order lists %d", len(reg), len(Order()))
 	}
 	for _, id := range Order() {
 		if _, ok := reg[id]; !ok {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/eval"
 	"repro/internal/pair"
 	"repro/internal/selection"
 	"repro/internal/simvec"
@@ -20,6 +21,92 @@ type ScalePoint struct {
 	Algorithm string
 	Fraction  float64
 	Elapsed   time.Duration
+}
+
+// ShardPoint is one row of the shard-count speedup curve: the end-to-end
+// human–machine loop runtime at one shard count, its speedup over the
+// monolithic run, and whether the resolved pairs matched the monolithic
+// reference exactly.
+type ShardPoint struct {
+	Shards     int     `json:"shards"`
+	PrepareNS  int64   `json:"prepare_ns"`
+	LoopNS     int64   `json:"loop_ns"`
+	Speedup    float64 `json:"speedup"`
+	Questions  int     `json:"questions"`
+	F1         float64 `json:"f1"`
+	Equivalent bool    `json:"equivalent"`
+}
+
+// ShardReport is the machine-readable result of the shard scalability
+// experiment, merged into BENCH_remp.json by cmd/benchreport.
+type ShardReport struct {
+	Dataset    string       `json:"dataset"`
+	Vertices   int          `json:"vertices"`
+	Edges      int          `json:"edges"`
+	Components int          `json:"components"`
+	Points     []ShardPoint `json:"points"`
+}
+
+// ShardScalability measures the sharded resolution loop on the clustered
+// synthetic graph: for each shard count, the full human–machine loop runs
+// to completion against an oracle crowd and is timed end to end (initial
+// engine build through final classification); every sharded outcome is
+// checked for exact equivalence with the monolithic reference via the
+// cross-shard monotonicity check. The speedup comes from three scopes a
+// monolithic pipeline cannot apply — per-shard re-estimation rebuilds,
+// per-shard candidate/selection caching, settled-shard freezing — plus
+// shard-parallel fan-out on multi-core hosts.
+func ShardScalability(w io.Writer, seed int64) *ShardReport {
+	return shardScalability(w, seed, 120, 60)
+}
+
+func shardScalability(w io.Writer, seed int64, clusters, meanSize int) *ShardReport {
+	header(w, "Shard speedup: end-to-end loop runtime vs shard count (clustered synthetic)")
+	ds := datasets.Clustered(clusters, meanSize, seed)
+	report := &ShardReport{Dataset: ds.Name}
+	var refOutcome eval.Outcome
+	var baseLoop time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Shards = shards
+		start := time.Now()
+		p := core.Prepare(ds.K1, ds.K2, cfg)
+		prep := time.Since(start)
+		start = time.Now()
+		res := p.Run(core.NewOracleAsker(ds.Gold.IsMatch))
+		loop := time.Since(start)
+
+		if shards == 1 {
+			report.Vertices = p.Graph.NumVertices()
+			report.Edges = p.Graph.NumEdges()
+			baseLoop = loop
+			refOutcome = eval.Outcome{Matches: res.Matches, NonMatches: res.NonMatches}
+		}
+		if p.Part != nil {
+			report.Components = p.Part.NumComponents()
+		}
+		equivalent := true
+		if shards > 1 {
+			if err := eval.ShardDivergence(refOutcome, eval.Outcome{Matches: res.Matches, NonMatches: res.NonMatches}); err != nil {
+				equivalent = false
+				fmt.Fprintf(w, "  !! divergence at %d shards: %v\n", shards, err)
+			}
+		}
+		if err := eval.OneToOne(res.Matches); err != nil {
+			equivalent = false
+			fmt.Fprintf(w, "  !! 1:1 violation at %d shards: %v\n", shards, err)
+		}
+		prf := pair.Evaluate(res.Matches, ds.Gold)
+		speedup := float64(baseLoop) / float64(loop)
+		fmt.Fprintf(w, "%d shard(s): prepare %8v  loop %8v  speedup %.2fx  Q=%d  F1=%.3f  equivalent=%v\n",
+			shards, prep.Round(time.Millisecond), loop.Round(time.Millisecond), speedup, res.Questions, prf.F1, equivalent)
+		report.Points = append(report.Points, ShardPoint{
+			Shards: shards, PrepareNS: prep.Nanoseconds(), LoopNS: loop.Nanoseconds(),
+			Speedup: speedup, Questions: res.Questions, F1: prf.F1, Equivalent: equivalent,
+		})
+	}
+	return report
 }
 
 // Figure6 reproduces "Running time w.r.t. different portion of entity
@@ -58,12 +145,17 @@ func Figure6(w io.Writer, seed int64) []ScalePoint {
 		out = append(out, ScalePoint{Algorithm: "Algorithm 1", Fraction: f, Elapsed: el})
 	}
 
-	// Algorithms 2 and 3 on fractions of Mrd.
-	full := core.Prepare(ds.K1, ds.K2, core.DefaultConfig())
+	// Algorithms 2 and 3 on fractions of Mrd. The sweep measures the
+	// monolithic algorithms, so sharding is pinned off; ShardSpeedup
+	// measures the sharded loop.
+	monoCfg := core.DefaultConfig()
+	monoCfg.Shards = 1
+	full := core.Prepare(ds.K1, ds.K2, monoCfg)
 	for _, f := range fractions {
 		n := int(f * float64(len(full.Retained)))
 		subset := full.Retained[:n]
 		cfg := core.DefaultConfig()
+		cfg.Shards = 1
 		sub := core.PrepareOnRetained(ds.K1, ds.K2, cfg, subset, full.Blocking)
 
 		start := time.Now()

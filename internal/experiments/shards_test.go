@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+)
+
+// TestShardedEquivalenceOnBuiltinDatasets is the acceptance gate for the
+// sharded pipeline: on every built-in dataset suite, a sharded Resolve
+// must produce exactly the matches and non-matches of the unsharded run —
+// the cross-shard monotonicity check of internal/eval — and therefore the
+// same precision/recall/F1.
+func TestShardedEquivalenceOnBuiltinDatasets(t *testing.T) {
+	for _, name := range datasets.Names() {
+		t.Run(name, func(t *testing.T) {
+			ds, err := datasets.ByName(name, DefaultSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(shards int) *core.Result {
+				cfg := core.DefaultConfig()
+				cfg.Shards = shards
+				p := core.Prepare(ds.K1, ds.K2, cfg)
+				return p.Run(core.NewOracleAsker(ds.Gold.IsMatch))
+			}
+			ref := run(1)
+			refOut := eval.Outcome{Matches: ref.Matches, NonMatches: ref.NonMatches}
+			for _, shards := range []int{4} {
+				res := run(shards)
+				if err := eval.ShardDivergence(refOut, eval.Outcome{Matches: res.Matches, NonMatches: res.NonMatches}); err != nil {
+					t.Errorf("%d shards: %v", shards, err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardScalabilityReport sanity-checks the shards experiment on a
+// reduced clustered graph: every point must be equivalent and the report
+// shape complete (the CI bench job merges it into BENCH_remp.json).
+func TestShardScalabilityReport(t *testing.T) {
+	report := shardScalability(io.Discard, DefaultSeed, 24, 16)
+	if len(report.Points) != 4 {
+		t.Fatalf("report has %d points, want 4", len(report.Points))
+	}
+	if report.Vertices == 0 || report.Edges == 0 || report.Components == 0 {
+		t.Errorf("report missing graph stats: %+v", report)
+	}
+	for _, pt := range report.Points {
+		if !pt.Equivalent {
+			t.Errorf("shard count %d diverged from the monolithic run", pt.Shards)
+		}
+		if pt.LoopNS <= 0 || pt.Questions <= 0 {
+			t.Errorf("degenerate point: %+v", pt)
+		}
+	}
+}

@@ -29,6 +29,29 @@ type Strategy interface {
 	Select(cands []Candidate, mu int) []int
 }
 
+// Pick is one ranked selection: a candidate index plus the score the
+// strategy committed it at — the marginal benefit for Greedy, the sort key
+// for the heuristics. Within one SelectRanked call scores are
+// non-increasing (benefit is submodular; the heuristics sort), which is
+// what lets a scheduler merge independent shards' sequences by score.
+type Pick struct {
+	Index int
+	Score float64
+}
+
+// Ranked is implemented by strategies whose selection over a disjoint
+// union of candidate sets equals the score-ordered merge of the per-set
+// selections. All built-in strategies qualify: their scores depend only on
+// a candidate and the previously chosen candidates whose Inferred sets
+// overlap it, and inferred sets never cross shards. The sharded loop uses
+// this to select per shard concurrently and draw the global µ-batch across
+// shards by expected benefit.
+type Ranked interface {
+	Strategy
+	// SelectRanked is Select, annotated with commit scores.
+	SelectRanked(cands []Candidate, mu int) []Pick
+}
+
 // Greedy is Algorithm 3: lazy greedy maximization of benefit(Q).
 type Greedy struct{}
 
@@ -54,7 +77,18 @@ func (s *benefitState) add(c Candidate) {
 }
 
 // Select implements Strategy.
-func (Greedy) Select(cands []Candidate, mu int) []int {
+func (g Greedy) Select(cands []Candidate, mu int) []int {
+	picks := g.SelectRanked(cands, mu)
+	out := make([]int, len(picks))
+	for i, p := range picks {
+		out[i] = p.Index
+	}
+	return out
+}
+
+// SelectRanked implements Ranked: the lazy greedy of Select, returning the
+// marginal benefit each question was committed at.
+func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 	if mu <= 0 || len(cands) == 0 {
 		return nil
 	}
@@ -67,7 +101,7 @@ func (Greedy) Select(cands []Candidate, mu int) []int {
 	}
 	heap.Init(&pq)
 
-	var out []int
+	var out []Pick
 	for len(out) < mu && pq.Len() > 0 {
 		item := heap.Pop(&pq).(gainItem)
 		// Recompute the gain under the current Q (it can only shrink —
@@ -84,7 +118,7 @@ func (Greedy) Select(cands []Candidate, mu int) []int {
 			continue
 		}
 		state.add(cands[item.idx])
-		out = append(out, item.idx)
+		out = append(out, Pick{Index: item.idx, Score: fresh})
 	}
 	return out
 }
@@ -112,6 +146,11 @@ func (MaxInf) Select(cands []Candidate, mu int) []int {
 	return topBy(cands, mu, func(c Candidate) float64 { return float64(len(c.Inferred)) })
 }
 
+// SelectRanked implements Ranked with the inferred-set size as the score.
+func (m MaxInf) SelectRanked(cands []Candidate, mu int) []Pick {
+	return ranked(cands, m.Select(cands, mu), func(c Candidate) float64 { return float64(len(c.Inferred)) })
+}
+
 // MaxPr picks the questions with the highest match probability, ignoring
 // inference power (Figure 5 baseline).
 type MaxPr struct{}
@@ -119,6 +158,20 @@ type MaxPr struct{}
 // Select implements Strategy.
 func (MaxPr) Select(cands []Candidate, mu int) []int {
 	return topBy(cands, mu, func(c Candidate) float64 { return c.Prob })
+}
+
+// SelectRanked implements Ranked with the match probability as the score.
+func (m MaxPr) SelectRanked(cands []Candidate, mu int) []Pick {
+	return ranked(cands, m.Select(cands, mu), func(c Candidate) float64 { return c.Prob })
+}
+
+// ranked annotates a Select result with its sort scores.
+func ranked(cands []Candidate, idxs []int, score func(Candidate) float64) []Pick {
+	out := make([]Pick, len(idxs))
+	for i, idx := range idxs {
+		out[i] = Pick{Index: idx, Score: score(cands[idx])}
+	}
+	return out
 }
 
 func topBy(cands []Candidate, mu int, score func(Candidate) float64) []int {

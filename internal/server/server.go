@@ -50,6 +50,9 @@ type OptionsDTO struct {
 	Strategy                  string  `json:"strategy,omitempty"`
 	DisableIsolatedClassifier bool    `json:"disable_isolated_classifier,omitempty"`
 	Seed                      int64   `json:"seed,omitempty"`
+	// Shards shards the session's pipeline (0 = auto, 1 = monolithic; see
+	// remp.Options.Shards). A server-wide default applies when omitted.
+	Shards int `json:"shards,omitempty"`
 }
 
 func (o OptionsDTO) toOptions() remp.Options {
@@ -57,6 +60,7 @@ func (o OptionsDTO) toOptions() remp.Options {
 		K: o.K, Tau: o.Tau, Mu: o.Mu, LabelSimThreshold: o.LabelSimThreshold,
 		Budget: o.Budget, MaxLoops: o.MaxLoops, Strategy: o.Strategy,
 		DisableIsolatedClassifier: o.DisableIsolatedClassifier, Seed: o.Seed,
+		Shards: o.Shards,
 	}
 }
 
@@ -113,6 +117,7 @@ type SessionInfo struct {
 	State     string        `json:"state"`
 	Questions int           `json:"questions"`
 	Loops     int           `json:"loops"`
+	Shards    int           `json:"shards,omitempty"`
 	Batch     []QuestionDTO `json:"batch,omitempty"`
 }
 
@@ -158,10 +163,11 @@ type sessionMeta struct {
 
 // Server serves resolution sessions over HTTP.
 type Server struct {
-	mgr  *remp.Manager
-	mu   sync.Mutex
-	meta map[string]*sessionMeta
-	logf func(format string, args ...any)
+	mgr           *remp.Manager
+	mu            sync.Mutex
+	meta          map[string]*sessionMeta
+	logf          func(format string, args ...any)
+	defaultShards int
 }
 
 // New returns a server with an empty session manager. logf receives one
@@ -171,6 +177,19 @@ func New(logf func(format string, args ...any)) *Server {
 		logf = func(string, ...any) {}
 	}
 	return &Server{mgr: remp.NewManager(), meta: make(map[string]*sessionMeta), logf: logf}
+}
+
+// SetDefaultShards sets the shard count applied to sessions whose create
+// request does not specify one (the cmd/remp-server -shards flag). 0
+// keeps automatic sharding.
+func (s *Server) SetDefaultShards(n int) { s.defaultShards = n }
+
+// applyDefaults folds server-wide defaults into a request's options.
+func (s *Server) applyDefaults(o OptionsDTO) OptionsDTO {
+	if o.Shards == 0 && s.defaultShards != 0 {
+		o.Shards = s.defaultShards
+	}
+	return o
 }
 
 // Handler returns the HTTP handler for all /v1 endpoints.
@@ -257,7 +276,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.mgr.NewSession(ds, req.Options.toOptions(), namespace)
+	sess, err := s.mgr.NewSession(ds, s.applyDefaults(req.Options).toOptions(), namespace)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -280,7 +299,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.mgr.RestoreSession(ds, dto.Create.Options.toOptions(), namespace, dto.Session)
+	sess, err := s.mgr.RestoreSession(ds, s.applyDefaults(dto.Create.Options).toOptions(), namespace, dto.Session)
 	if err != nil {
 		// Only an ID collision is a genuine conflict; malformed or
 		// diverging snapshots are client errors.
@@ -443,6 +462,7 @@ func (s *Server) info(sess *remp.Session, withBatch bool) SessionInfo {
 		State:     string(sess.State()),
 		Questions: questions,
 		Loops:     loops,
+		Shards:    sess.Shards(),
 		Batch:     batch,
 	}
 }

@@ -17,12 +17,16 @@ var ErrSessionExists = errors.New("session: id already exists")
 // caches they share. Sessions created in the same namespace — the same
 // dataset, by convention — exchange answers through one Cache; distinct
 // namespaces are fully isolated (entity IDs are only meaningful within one
-// dataset). All methods are safe for concurrent use.
+// dataset). The Manager also owns one core.Scheduler: every session's
+// sharded pipeline draws its shard workers from this shared pool, so any
+// number of concurrent sessions fan out at most GOMAXPROCS shard tasks
+// machine-wide. All methods are safe for concurrent use.
 type Manager struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
 	caches   map[string]*Cache
 	nextID   int
+	sched    *core.Scheduler
 }
 
 // NewManager returns an empty manager.
@@ -30,8 +34,14 @@ func NewManager() *Manager {
 	return &Manager{
 		sessions: make(map[string]*Session),
 		caches:   make(map[string]*Cache),
+		sched:    core.NewScheduler(0),
 	}
 }
+
+// Scheduler returns the manager's shared shard-work scheduler. Callers
+// preparing pipelines for managed sessions should place it in
+// core.Config.Sched so shard fan-out is bounded across all sessions.
+func (m *Manager) Scheduler() *core.Scheduler { return m.sched }
 
 // Cache returns the namespace's shared answer cache, creating it on first
 // use.

@@ -147,6 +147,14 @@ func (s *Session) Progress() (questions, loops int) {
 	return res.Questions, res.Loops
 }
 
+// Shards returns the shard count of the session's pipeline (1 when the
+// pipeline is monolithic).
+func (s *Session) Shards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loop.NumShards()
+}
+
 // NextBatch publishes the questions the crowd should answer now: the open
 // batch minus answers already known to the shared cache (delivered
 // immediately) and minus questions a sibling session already has in

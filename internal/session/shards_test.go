@@ -1,0 +1,109 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShardedSessionMatchesUnsharded drives a sharded session with oracle
+// labels delivered out of order and checks the result against a
+// monolithic synchronous run — the session-level face of the sharding
+// equivalence guarantee.
+func TestShardedSessionMatchesUnsharded(t *testing.T) {
+	k1, k2, gold := bookWorld(8, 51)
+
+	cfgMono := testConfig(func(c *core.Config) { c.Shards = 1 })
+	ref := core.Prepare(k1, k2, cfgMono).Run(core.NewOracleAsker(gold.IsMatch))
+
+	cfgShard := testConfig(func(c *core.Config) { c.Shards = 4 })
+	p := core.Prepare(k1, k2, cfgShard)
+	if p.NumShards() < 2 {
+		t.Fatalf("fixture produced %d shards, want ≥ 2", p.NumShards())
+	}
+	s := New("sharded", p, nil)
+	for !s.Done() {
+		batch := s.NextBatch()
+		if len(batch) == 0 {
+			t.Fatal("session stalled")
+		}
+		// Deliver in reverse order to exercise the buffering path on the
+		// sharded machine.
+		for i := len(batch) - 1; i >= 0; i-- {
+			if err := s.Deliver(batch[i].ID, FromCrowd(oracleLabels(gold, batch[i].Pair))); err != nil {
+				t.Fatal(err)
+			}
+			if s.Done() {
+				break
+			}
+		}
+	}
+	assertResultsIdentical(t, ref, s.Result())
+	if got := s.Shards(); got != p.NumShards() {
+		t.Errorf("Shards() = %d, want %d", got, p.NumShards())
+	}
+}
+
+// TestSnapshotRecordsShardAssignment pins the snapshot fingerprint: the
+// shard count and sizes are recorded, restore succeeds against an
+// identically sharded pipeline, and a different shard count is rejected
+// up front with a descriptive error.
+func TestSnapshotRecordsShardAssignment(t *testing.T) {
+	k1, k2, gold := bookWorld(6, 52)
+	cfg := testConfig(func(c *core.Config) { c.Shards = 3 })
+	p := core.Prepare(k1, k2, cfg)
+	if p.NumShards() < 2 {
+		t.Fatalf("fixture produced %d shards", p.NumShards())
+	}
+	s := New("snap", p, nil)
+	// Answer one batch so the snapshot carries history.
+	batch := s.NextBatch()
+	if len(batch) == 0 {
+		t.Fatal("no questions published")
+	}
+	for _, q := range batch {
+		if err := s.Deliver(q.ID, FromCrowd(oracleLabels(gold, q.Pair))); err != nil {
+			t.Fatal(err)
+		}
+		if s.Done() {
+			break
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Shards != p.NumShards() {
+		t.Errorf("snapshot.Shards = %d, want %d", snap.Shards, p.NumShards())
+	}
+	if len(snap.ShardSizes) != p.NumShards() {
+		t.Errorf("snapshot.ShardSizes = %v, want %d entries", snap.ShardSizes, p.NumShards())
+	}
+
+	// Same shard count: restore replays cleanly.
+	p2 := core.Prepare(k1, k2, cfg)
+	restored, err := Restore(p2, nil, snap)
+	if err != nil {
+		t.Fatalf("restore against identical pipeline: %v", err)
+	}
+	q1, l1 := s.Progress()
+	q2, l2 := restored.Progress()
+	if q1 != q2 || l1 != l2 {
+		t.Errorf("restored progress %d/%d, want %d/%d", q2, l2, q1, l1)
+	}
+
+	// Different shard count: rejected before any replay.
+	cfgMono := testConfig(func(c *core.Config) { c.Shards = 1 })
+	p3 := core.Prepare(k1, k2, cfgMono)
+	if _, err := Restore(p3, nil, snap); err == nil {
+		t.Fatal("restore accepted a snapshot from a differently sharded pipeline")
+	} else if !strings.Contains(err.Error(), "shard") {
+		t.Errorf("divergence error does not mention shards: %v", err)
+	}
+
+	// Legacy snapshots (no shard fingerprint) still restore.
+	legacy := *snap
+	legacy.Shards = 0
+	legacy.ShardSizes = nil
+	if _, err := Restore(core.Prepare(k1, k2, cfg), nil, &legacy); err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+}

@@ -20,12 +20,21 @@ const SnapshotVersion = 1
 // holds answers that had arrived out of order and were still buffered.
 // The snapshot does not carry the dataset or the options; the caller must
 // re-prepare the same pipeline (same KBs, same configuration) for Restore.
+// Shards and ShardSizes fingerprint the pipeline's shard assignment so a
+// replay against a differently partitioned pipeline is rejected up front
+// instead of diverging mid-replay.
 type Snapshot struct {
 	Version int         `json:"version"`
 	ID      string      `json:"id"`
 	Done    bool        `json:"done"`
 	Applied []AnswerRec `json:"applied"`
 	Pending []AnswerRec `json:"pending,omitempty"`
+	// Shards is the shard count of the pipeline the session ran over
+	// (1 = unsharded; 0 in snapshots written before sharding existed,
+	// which skips the check on restore).
+	Shards int `json:"shards,omitempty"`
+	// ShardSizes is the per-shard vertex count, recorded when Shards > 1.
+	ShardSizes []int `json:"shard_sizes,omitempty"`
 }
 
 // AnswerRec is one recorded answer in wire form.
@@ -48,13 +57,18 @@ func toRecs(answers []core.Answer) []AnswerRec {
 func (s *Session) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &Snapshot{
+	snap := &Snapshot{
 		Version: SnapshotVersion,
 		ID:      s.id,
 		Done:    s.loop.Done(),
 		Applied: toRecs(s.loop.History()),
 		Pending: toRecs(s.loop.Buffered()),
+		Shards:  s.loop.NumShards(),
 	}
+	if snap.Shards > 1 {
+		snap.ShardSizes = s.loop.ShardSizes()
+	}
+	return snap
 }
 
 // MarshalJSON-friendly helpers for callers that move snapshots as bytes.
@@ -87,6 +101,19 @@ func Restore(p *core.Prepared, cache *Cache, snap *Snapshot) (*Session, error) {
 	}
 	if snap.ID == "" {
 		return nil, fmt.Errorf("session: snapshot has no session id")
+	}
+	if snap.Shards > 0 && p.NumShards() != snap.Shards {
+		return nil, fmt.Errorf("session: snapshot was taken over %d shards but the re-prepared pipeline has %d (same dataset, options and shard count are required)",
+			snap.Shards, p.NumShards())
+	}
+	if len(snap.ShardSizes) > 0 {
+		sizes := p.ShardSizes()
+		for i, want := range snap.ShardSizes {
+			if i >= len(sizes) || sizes[i] != want {
+				return nil, fmt.Errorf("session: snapshot shard assignment diverged: shard %d holds %v vertices, snapshot recorded %v",
+					i, sizes, snap.ShardSizes)
+			}
+		}
 	}
 	s := &Session{id: snap.ID, loop: p.NewLoop(), cache: cache}
 	for i, rec := range append(append([]AnswerRec{}, snap.Applied...), snap.Pending...) {

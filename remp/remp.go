@@ -83,6 +83,14 @@ type Options struct {
 	DisableIsolatedClassifier bool
 	// Seed drives the pipeline's randomized components.
 	Seed int64
+	// Shards splits the candidate-pair graph into independent shards of
+	// relationally connected components whose propagation, selection and
+	// answer application run concurrently under one global budget/µ-batch
+	// scheduler. The resolved matches and non-matches are identical to an
+	// unsharded run. 0 (the default) shards automatically from the graph
+	// size — single-shard below a few thousand candidate pairs; 1 forces
+	// a monolithic pipeline; negative values are rejected.
+	Shards int
 }
 
 // Asker abstracts a crowdsourcing platform.
@@ -162,6 +170,7 @@ func configFromOptions(opts Options) (core.Config, error) {
 	cfg.MaxLoops = opts.MaxLoops
 	cfg.ClassifyIsolated = !opts.DisableIsolatedClassifier
 	cfg.Seed = opts.Seed
+	cfg.Shards = opts.Shards
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, fmt.Errorf("remp: invalid options: %w", err)
 	}
@@ -180,6 +189,12 @@ func configFromOptions(opts Options) (core.Config, error) {
 
 // prepare validates the inputs and runs stages 1–2 of the pipeline.
 func prepare(ds Dataset, opts Options) (*core.Prepared, error) {
+	return prepareSched(ds, opts, nil)
+}
+
+// prepareSched is prepare with an explicit shard-work scheduler (the
+// Manager's shared pool); nil keeps the process-wide default.
+func prepareSched(ds Dataset, opts Options, sched *core.Scheduler) (*core.Prepared, error) {
 	if ds.K1 == nil || ds.K2 == nil {
 		return nil, ErrNilInput
 	}
@@ -187,6 +202,7 @@ func prepare(ds Dataset, opts Options) (*core.Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Sched = sched
 	return core.Prepare(ds.K1, ds.K2, cfg), nil
 }
 

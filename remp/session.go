@@ -62,6 +62,10 @@ func (s *Session) Done() bool { return s.s.Done() }
 // Progress returns the questions answered and loops executed so far.
 func (s *Session) Progress() (questions, loops int) { return s.s.Progress() }
 
+// Shards returns how many graph shards the session resolves concurrently
+// (1 = monolithic pipeline).
+func (s *Session) Shards() int { return s.s.Shards() }
+
 // NextBatch returns the published questions still awaiting answers. An
 // empty batch means the session is done — except under a Manager, where
 // it can also mean every open question is already in flight in a sibling
@@ -126,9 +130,11 @@ type Manager struct {
 func NewManager() *Manager { return &Manager{m: session.NewManager()} }
 
 // NewSession prepares a pipeline and starts a managed session in the
-// namespace.
+// namespace. Sharded pipelines of all managed sessions draw their shard
+// workers from the manager's shared scheduler, so concurrent sessions
+// cannot oversubscribe the machine.
 func (m *Manager) NewSession(ds Dataset, opts Options, namespace string) (*Session, error) {
-	p, err := prepare(ds, opts)
+	p, err := prepareSched(ds, opts, m.m.Scheduler())
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +148,7 @@ func (m *Manager) RestoreSession(ds Dataset, opts Options, namespace string, sna
 	if err != nil {
 		return nil, err
 	}
-	p, err := prepare(ds, opts)
+	p, err := prepareSched(ds, opts, m.m.Scheduler())
 	if err != nil {
 		return nil, err
 	}
