@@ -1,15 +1,17 @@
 // Command benchreport turns raw benchmark output into the repository's
 // machine-readable benchmark trajectory and gates CI on regressions.
 //
-// It parses `go test -bench` text output, merges the shard-scalability
+// It parses `go test -bench` text output — ns/op plus the B/op and
+// allocs/op columns b.ReportAllocs emits — merges the shard-scalability
 // report written by `remp-bench -experiment shards -json`, annotates the
 // built-in dataset sizes, and writes one BENCH_remp.json. When a baseline
-// file is given it compares ns/op benchmark by benchmark and exits
+// file is given it compares every metric benchmark by benchmark and exits
 // non-zero if any benchmark regressed by more than the allowed fraction
-// — after normalizing by the median ratio across all shared benchmarks,
-// so a uniformly slower or faster host (CI runners vs the machine that
-// recorded the baseline) does not trip the gate; only benchmarks that
-// moved relative to the rest of the suite do.
+// — after normalizing by the per-metric median ratio across all shared
+// benchmarks, so a uniformly slower or faster host (CI runners vs the
+// machine that recorded the baseline) does not trip the time gate, and a
+// Go-version-wide allocator shift does not trip the allocation gate; only
+// benchmarks that moved relative to the rest of the suite do.
 //
 // Usage:
 //
@@ -43,10 +45,14 @@ type Report struct {
 	Datasets    []DatasetSize            `json:"datasets"`
 }
 
-// Benchmark is one `go test -bench` result line.
+// Benchmark is one `go test -bench` result line. BytesPerOp/AllocsPerOp
+// are -1 when the line carried no allocation columns (a benchmark without
+// b.ReportAllocs), so a true 0 allocs/op stays distinguishable.
 type Benchmark struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // DatasetSize records the synthetic benchmark suite's scale alongside the
@@ -58,7 +64,19 @@ type DatasetSize struct {
 	GoldMatches int    `json:"gold_matches"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+	bytesCol   = regexp.MustCompile(`\s([\d.]+) B/op`)
+	allocsCol  = regexp.MustCompile(`\s([\d.]+) allocs/op`)
+	metricCols = []struct {
+		key string
+		get func(Benchmark) float64
+	}{
+		{"ns/op", func(b Benchmark) float64 { return b.NsPerOp }},
+		{"B/op", func(b Benchmark) float64 { return b.BytesPerOp }},
+		{"allocs/op", func(b Benchmark) float64 { return b.AllocsPerOp }},
+	}
+)
 
 func main() {
 	benchPath := flag.String("bench", "", "go test -bench output to parse (required)")
@@ -71,14 +89,16 @@ func main() {
 	if *benchPath == "" {
 		fatalf("benchreport: -bench is required")
 	}
-	report := &Report{Version: 1, Go: runtime.Version()}
+	// Version 2 added the bytes_per_op / allocs_per_op columns.
+	report := &Report{Version: 2, Go: runtime.Version()}
 
 	raw, err := os.ReadFile(*benchPath)
 	if err != nil {
 		fatalf("benchreport: %v", err)
 	}
 	for _, line := range strings.Split(string(raw), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		line = strings.TrimSpace(line)
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -86,7 +106,18 @@ func main() {
 		if err != nil {
 			continue
 		}
-		report.Benchmarks = append(report.Benchmarks, Benchmark{Name: m[1], NsPerOp: ns})
+		b := Benchmark{Name: m[1], NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		if bm := bytesCol.FindStringSubmatch(line); bm != nil {
+			if v, err := strconv.ParseFloat(bm[1], 64); err == nil {
+				b.BytesPerOp = v
+			}
+		}
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			if v, err := strconv.ParseFloat(am[1], 64); err == nil {
+				b.AllocsPerOp = v
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
 	}
 	if len(report.Benchmarks) == 0 {
 		fatalf("benchreport: no benchmark lines found in %s", *benchPath)
@@ -143,8 +174,12 @@ func main() {
 	}
 }
 
-// gate compares the current report to the baseline and reports
-// regressions; it returns true when the gate should fail the build.
+// gate compares the current report to the baseline — ns/op, B/op and
+// allocs/op independently, each normalized by its own median ratio across
+// the shared benchmarks — and reports regressions; it returns true when
+// the gate should fail the build. Benchmarks or baselines without a
+// metric (value ≤ 0, e.g. a pre-allocation-columns baseline) are skipped
+// for that metric only.
 func gate(report *Report, baselinePath string, maxRegression float64) bool {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -154,49 +189,74 @@ func gate(report *Report, baselinePath string, maxRegression float64) bool {
 	if err := json.Unmarshal(data, &base); err != nil {
 		fatalf("benchreport: parsing %s: %v", baselinePath, err)
 	}
-	baseNs := make(map[string]float64, len(base.Benchmarks))
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseNs[b.Name] = b.NsPerOp
-	}
-	type cmp struct {
-		name  string
-		ratio float64
-	}
-	var shared []cmp
-	for _, b := range report.Benchmarks {
-		if bn, ok := baseNs[b.Name]; ok && bn > 0 && b.NsPerOp > 0 {
-			shared = append(shared, cmp{name: b.Name, ratio: b.NsPerOp / bn})
-		}
-	}
-	if len(shared) == 0 {
-		fmt.Println("benchreport: no benchmarks shared with the baseline; gate skipped")
-		return false
-	}
-	// Median ratio calibrates away the host-speed difference between this
-	// run and the machine that recorded the baseline.
-	ratios := make([]float64, len(shared))
-	for i, c := range shared {
-		ratios[i] = c.ratio
-	}
-	sort.Float64s(ratios)
-	median := ratios[len(ratios)/2]
-	if median <= 0 {
-		median = 1
+		baseBy[b.Name] = b
 	}
 	failed := false
-	for _, c := range shared {
-		normalized := c.ratio / median
-		status := "ok"
-		if normalized > 1+maxRegression {
-			status = "REGRESSION"
-			failed = true
+	for _, metric := range metricCols {
+		type cmp struct {
+			name  string
+			ratio float64
 		}
-		fmt.Printf("benchreport: %-55s ratio %.3f (normalized %.3f) %s\n", c.name, c.ratio, normalized, status)
-	}
-	if failed {
-		fmt.Printf("benchreport: FAIL benchmarks regressed more than %.0f%% vs %s (median-normalized)\n", 100*maxRegression, baselinePath)
-	} else {
-		fmt.Printf("benchreport: gate green vs %s (%d benchmarks, median ratio %.3f)\n", baselinePath, len(shared), median)
+		var shared []cmp
+		metricFailed := false
+		for _, b := range report.Benchmarks {
+			bb, ok := baseBy[b.Name]
+			if !ok {
+				continue
+			}
+			cur, old := metric.get(b), metric.get(bb)
+			if cur < 0 || old < 0 {
+				continue // metric absent on one side (pre-v2 baseline)
+			}
+			if old == 0 {
+				// A zero baseline has no ratio. 0 → 0 is fine; 0 → anything
+				// is exactly the regression class this gate exists for (a
+				// zero-alloc hot path growing an allocation), so it fails
+				// outright instead of slipping past the ratio math.
+				if cur > 0 {
+					fmt.Printf("benchreport: %-10s %-55s was 0, now %v REGRESSION\n", metric.key, b.Name, cur)
+					metricFailed = true
+				}
+				continue
+			}
+			shared = append(shared, cmp{name: b.Name, ratio: cur / old})
+		}
+		if len(shared) == 0 && !metricFailed {
+			fmt.Printf("benchreport: no shared %s values with the baseline; %s gate skipped\n", metric.key, metric.key)
+			continue
+		}
+		// The median ratio calibrates away whole-suite shifts: host speed
+		// for ns/op, runtime/compiler allocation changes for B/op and
+		// allocs/op. Only benchmarks that moved against the suite fail.
+		ratios := make([]float64, len(shared))
+		for i, c := range shared {
+			ratios[i] = c.ratio
+		}
+		median := 1.0
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			median = ratios[len(ratios)/2]
+			if median <= 0 {
+				median = 1
+			}
+		}
+		for _, c := range shared {
+			normalized := c.ratio / median
+			status := "ok"
+			if normalized > 1+maxRegression {
+				status = "REGRESSION"
+				metricFailed = true
+			}
+			fmt.Printf("benchreport: %-10s %-55s ratio %.3f (normalized %.3f) %s\n", metric.key, c.name, c.ratio, normalized, status)
+		}
+		if metricFailed {
+			fmt.Printf("benchreport: FAIL %s regressed more than %.0f%% vs %s (median-normalized)\n", metric.key, 100*maxRegression, baselinePath)
+			failed = true
+		} else {
+			fmt.Printf("benchreport: %s gate green vs %s (%d benchmarks, median ratio %.3f)\n", metric.key, baselinePath, len(shared), median)
+		}
 	}
 	return failed
 }

@@ -9,6 +9,12 @@
 //	remp-bench -list                    # available experiments
 //	remp-bench -experiment table6 -seed 7
 //	remp-bench -experiment shards -json shards.json
+//	remp-bench -experiment shards -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The -cpuprofile / -memprofile flags write pprof profiles covering the
+// experiment run, so a hot-path regression flagged by the CI bench gate
+// can be diagnosed straight from an uploaded artifact (`go tool pprof`)
+// without reproducing the run locally.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -26,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "random seed for datasets, workers and samplers")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards experiment only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the experiment run to this file")
 	flag.Parse()
 
 	if *list {
@@ -69,9 +79,34 @@ func main() {
 		run = func() { runner(os.Stdout, *seed) }
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("remp-bench: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("remp-bench: starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	run()
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("remp-bench: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle live objects so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("remp-bench: writing heap profile: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *memProfile)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -142,9 +142,9 @@ func (a agenda) Less(i, j int) bool {
 	}
 	return a[i].p.Less(a[j].p)
 }
-func (a agenda) Swap(i, j int)       { a[i], a[j] = a[j], a[i] }
-func (a *agenda) Push(x interface{}) { *a = append(*a, x.(item)) }
-func (a *agenda) Pop() interface{} {
+func (a agenda) Swap(i, j int) { a[i], a[j] = a[j], a[i] }
+func (a *agenda) Push(x any)   { *a = append(*a, x.(item)) }
+func (a *agenda) Pop() any {
 	old := *a
 	n := len(old)
 	x := old[n-1]

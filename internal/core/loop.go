@@ -445,25 +445,41 @@ func (l *Loop) openBatch() {
 // gatherShard assembles the candidate question list over one shard's
 // unresolved vertices, with inferred sets as global vertex indexes.
 // anyPropagation reports whether some question can still infer a pair
-// other than itself — the loop's stop signal. Inferred index lists are
-// sorted so the whole run is deterministic (benefit sums are
-// order-sensitive in floating point).
+// other than itself — the loop's stop signal. The engine's balls are
+// already ascending in vertex index, so the inferred lists come out in the
+// deterministic order the benefit sums need (they are order-sensitive in
+// floating point) without any per-loop sorting.
 func (l *Loop) gatherShard(sh *loopShard) ([]selection.Candidate, bool) {
 	verts := sh.pipe.graph.Vertices()
-	var cands []selection.Candidate
+	// One flat backing array holds every candidate's inferred list: a first
+	// pass bounds the total, so the fills below never reallocate and the
+	// whole gather costs two allocations instead of one per candidate.
+	live, total := 0, 0
+	for li, v := range verts {
+		if l.resolved(v) || l.hard.Has(v) {
+			continue
+		}
+		live++
+		total += len(sh.eng.Ball(li)) + 1
+	}
+	if live == 0 {
+		return nil, false
+	}
+	backing := make([]int, 0, total)
+	cands := make([]selection.Candidate, 0, live)
 	anyPropagation := false
 	for li, v := range verts {
 		if l.resolved(v) || l.hard.Has(v) {
 			continue
 		}
-		keys := sh.eng.SortedSetIndexes(li)
-		inf := make([]int, 1, len(keys)+1)
-		inf[0] = sh.pipe.global(li) // a match label always resolves the question itself
-		for _, lj := range keys {
-			if !l.resolved(verts[lj]) {
-				inf = append(inf, sh.pipe.global(lj))
+		start := len(backing)
+		backing = append(backing, sh.pipe.global(li)) // a match label always resolves the question itself
+		for _, en := range sh.eng.Ball(li) {
+			if !l.resolved(verts[en.Idx]) {
+				backing = append(backing, sh.pipe.global(int(en.Idx)))
 			}
 		}
+		inf := backing[start:len(backing):len(backing)]
 		if len(inf) > 1 {
 			anyPropagation = true
 		}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/ergraph"
 	"repro/internal/pair"
@@ -77,11 +77,17 @@ func padBatch(cands []selection.Candidate, chosen []int, mu int) []int {
 			rest = append(rest, i)
 		}
 	}
-	sort.Slice(rest, func(a, b int) bool {
-		if cands[rest[a]].Prob != cands[rest[b]].Prob {
-			return cands[rest[a]].Prob > cands[rest[b]].Prob
+	slices.SortFunc(rest, func(a, b int) int {
+		if cands[a].Prob != cands[b].Prob {
+			if cands[a].Prob > cands[b].Prob {
+				return -1
+			}
+			return 1
 		}
-		return cands[rest[a]].Pair.Less(cands[rest[b]].Pair)
+		if cands[a].Pair.Less(cands[b].Pair) {
+			return -1
+		}
+		return 1
 	})
 	for _, i := range rest {
 		if len(chosen) >= mu {
@@ -115,19 +121,9 @@ func (l *Loop) confirmMatch(q pair.Pair) {
 		return
 	}
 	verts := g.Vertices()
-	set := sh.eng.SetIndexes(qi)
-	order := make([]int, 0, len(set))
-	for j := range set {
-		order = append(order, j)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if set[order[a]] != set[order[b]] {
-			return set[order[a]] < set[order[b]] // smaller distance first
-		}
-		return verts[order[a]].Less(verts[order[b]])
-	})
-	for _, j := range order {
-		pj := verts[j]
+	ball := sh.eng.Ball(qi)
+	for _, k := range ball.DistOrder(verts) { // smaller distance first
+		pj := verts[ball[k].Idx]
 		if l.resolved(pj) {
 			continue
 		}

@@ -37,8 +37,8 @@ func (p *Prepared) PropagateFromSeeds(seeds []pair.Pair) pair.Set {
 				continue
 			}
 			verts := p.Graph.Vertices()
-			for j := range inferred.SetIndexes(qi) {
-				pj := verts[j]
+			for _, en := range inferred.Ball(qi) {
+				pj := verts[en.Idx]
 				if matches.Has(pj) {
 					continue
 				}

@@ -101,10 +101,10 @@ func (p *Prepared) initShards() {
 	}
 	verts := p.Graph.Vertices()
 	neighbors := func(i int) []int {
-		edges := p.Graph.Out(verts[i])
-		out := make([]int, 0, len(edges))
-		for _, e := range edges {
-			out = append(out, p.Graph.IndexOf(e.To))
+		idx := p.Graph.OutIndexesAt(i)
+		out := make([]int, len(idx))
+		for k, j := range idx {
+			out[k] = int(j)
 		}
 		return out
 	}

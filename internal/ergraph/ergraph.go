@@ -25,6 +25,20 @@ type RelPair struct {
 	Inverse bool
 }
 
+// Less is the canonical label order: (R1, R2), forward before inverse. It
+// is the single comparator shared by Labels, OutGroupsAt and the edge sort,
+// so every consumer processes labels differing only in direction in the
+// same, specified order.
+func (l RelPair) Less(m RelPair) bool {
+	if l.R1 != m.R1 {
+		return l.R1 < m.R1
+	}
+	if l.R2 != m.R2 {
+		return l.R2 < m.R2
+	}
+	return !l.Inverse && m.Inverse
+}
+
 // Edge is a labeled directed edge between two vertices (entity pairs).
 type Edge struct {
 	From  pair.Pair
@@ -39,6 +53,12 @@ type Graph struct {
 	// out[i] lists edges leaving vertex i; in[i] lists edges entering it.
 	out [][]Edge
 	in  [][]Edge
+	// outIdx[i][k] is the dense vertex index of out[i][k].To, and
+	// inIdx[i][k] that of in[i][k].From. They let edge consumers (BuildProb,
+	// Subgraph, the partitioner) walk the topology as flat integer arrays
+	// instead of hashing pair.Pair per edge.
+	outIdx [][]int32
+	inIdx  [][]int32
 }
 
 // Build constructs the ER graph on the given vertex set (the retained
@@ -75,7 +95,36 @@ func Build(k1, k2 *kb.KB, vertices []pair.Pair) *Graph {
 		sortEdges(g.out[i])
 		sortEdges(g.in[i])
 	}
+	g.buildDenseIndexes()
 	return g
+}
+
+// buildDenseIndexes fills outIdx/inIdx from the (sorted) edge lists. It is
+// the only per-edge pair hashing the graph ever pays; everything downstream
+// reads the dense arrays.
+func (g *Graph) buildDenseIndexes() {
+	g.outIdx = make([][]int32, len(g.out))
+	g.inIdx = make([][]int32, len(g.in))
+	for i, es := range g.out {
+		if len(es) == 0 {
+			continue
+		}
+		idx := make([]int32, len(es))
+		for k, e := range es {
+			idx[k] = int32(g.index[e.To])
+		}
+		g.outIdx[i] = idx
+	}
+	for i, es := range g.in {
+		if len(es) == 0 {
+			continue
+		}
+		idx := make([]int32, len(es))
+		for k, e := range es {
+			idx[k] = int32(g.index[e.From])
+		}
+		g.inIdx[i] = idx
+	}
 }
 
 // addEdges links vertex i to every successor pair (w1, w2) ∈ n1×n2 that is
@@ -103,13 +152,7 @@ func sortEdges(es []Edge) {
 		if es[a].From != es[b].From {
 			return es[a].From.Less(es[b].From)
 		}
-		if es[a].Label.R1 != es[b].Label.R1 {
-			return es[a].Label.R1 < es[b].Label.R1
-		}
-		if es[a].Label.R2 != es[b].Label.R2 {
-			return es[a].Label.R2 < es[b].Label.R2
-		}
-		return !es[a].Label.Inverse && es[b].Label.Inverse
+		return es[a].Label.Less(es[b].Label)
 	})
 }
 
@@ -125,23 +168,39 @@ func (g *Graph) Subgraph(vertices []pair.Pair) *Graph {
 		index:    make(map[pair.Pair]int, len(vertices)),
 		out:      make([][]Edge, len(vertices)),
 		in:       make([][]Edge, len(vertices)),
+		outIdx:   make([][]int32, len(vertices)),
+		inIdx:    make([][]int32, len(vertices)),
 	}
 	for i, v := range sub.vertices {
 		sub.index[v] = i
+	}
+	// remap[gi] is the subgraph index of parent vertex gi, or -1 when it was
+	// dropped. One hash per subgraph vertex; edge filtering below is pure
+	// array arithmetic over the parent's dense indexes.
+	remap := make([]int32, len(g.vertices))
+	for gi := range remap {
+		remap[gi] = -1
+	}
+	for i, v := range sub.vertices {
+		if gi, ok := g.index[v]; ok {
+			remap[gi] = int32(i)
+		}
 	}
 	for i, v := range sub.vertices {
 		gi, ok := g.index[v]
 		if !ok {
 			continue
 		}
-		for _, e := range g.out[gi] {
-			if _, keep := sub.index[e.To]; keep {
+		for k, e := range g.out[gi] {
+			if nj := remap[g.outIdx[gi][k]]; nj >= 0 {
 				sub.out[i] = append(sub.out[i], e)
+				sub.outIdx[i] = append(sub.outIdx[i], nj)
 			}
 		}
-		for _, e := range g.in[gi] {
-			if _, keep := sub.index[e.From]; keep {
+		for k, e := range g.in[gi] {
+			if nj := remap[g.inIdx[gi][k]]; nj >= 0 {
 				sub.in[i] = append(sub.in[i], e)
+				sub.inIdx[i] = append(sub.inIdx[i], nj)
 			}
 		}
 	}
@@ -193,6 +252,22 @@ func (g *Graph) In(p pair.Pair) []Edge {
 	return nil
 }
 
+// OutAt returns the edges leaving the vertex with dense index i (do not
+// modify).
+func (g *Graph) OutAt(i int) []Edge { return g.out[i] }
+
+// InAt returns the edges entering the vertex with dense index i (do not
+// modify).
+func (g *Graph) InAt(i int) []Edge { return g.in[i] }
+
+// OutIndexesAt returns the dense to-indexes of OutAt(i), parallel slice
+// (do not modify).
+func (g *Graph) OutIndexesAt(i int) []int32 { return g.outIdx[i] }
+
+// InIndexesAt returns the dense from-indexes of InAt(i), parallel slice
+// (do not modify).
+func (g *Graph) InIndexesAt(i int) []int32 { return g.inIdx[i] }
+
 // OutByLabel groups the out-neighborhood of p by edge label. The map's
 // value slices preserve edge order.
 func (g *Graph) OutByLabel(p pair.Pair) map[RelPair][]Edge {
@@ -205,6 +280,40 @@ func (g *Graph) OutByLabel(p pair.Pair) map[RelPair][]Edge {
 		m[e.Label] = append(m[e.Label], e)
 	}
 	return m
+}
+
+// LabelGroup is the out-edges of one vertex under one label, with the
+// dense to-index of each edge in the parallel To slice.
+type LabelGroup struct {
+	Label RelPair
+	Edges []Edge
+	To    []int32
+}
+
+// OutGroupsAt groups vertex i's out edges by label, groups sorted by
+// RelPair.Less — (R1, R2, Inverse), so labels differing only in direction
+// process in a specified order. Per-group edge order preserves the stored
+// edge order (ascending To), exactly the sequences OutByLabel yields.
+func (g *Graph) OutGroupsAt(i int) []LabelGroup {
+	es := g.out[i]
+	if len(es) == 0 {
+		return nil
+	}
+	idx := g.outIdx[i]
+	pos := make(map[RelPair]int, 4)
+	var groups []LabelGroup
+	for k, e := range es {
+		gi, ok := pos[e.Label]
+		if !ok {
+			gi = len(groups)
+			pos[e.Label] = gi
+			groups = append(groups, LabelGroup{Label: e.Label})
+		}
+		groups[gi].Edges = append(groups[gi].Edges, e)
+		groups[gi].To = append(groups[gi].To, idx[k])
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].Label.Less(groups[b].Label) })
+	return groups
 }
 
 // Isolated returns the vertices with no incident edges: the isolated
@@ -238,18 +347,16 @@ func (g *Graph) Components() [][]pair.Pair {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, e := range g.out[v] {
-				j := g.index[e.To]
+			for _, j := range g.outIdx[v] {
 				if comp[j] == -1 {
 					comp[j] = next
-					stack = append(stack, j)
+					stack = append(stack, int(j))
 				}
 			}
-			for _, e := range g.in[v] {
-				j := g.index[e.From]
+			for _, j := range g.inIdx[v] {
 				if comp[j] == -1 {
 					comp[j] = next
-					stack = append(stack, j)
+					stack = append(stack, int(j))
 				}
 			}
 		}
@@ -283,14 +390,6 @@ func (g *Graph) Labels() []RelPair {
 	for l := range seen {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].R1 != out[j].R1 {
-			return out[i].R1 < out[j].R1
-		}
-		if out[i].R2 != out[j].R2 {
-			return out[i].R2 < out[j].R2
-		}
-		return !out[i].Inverse && out[j].Inverse
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }

@@ -115,6 +115,85 @@ func TestOutByLabel(t *testing.T) {
 	}
 }
 
+// TestDenseIndexesMirrorEdges pins the outIdx/inIdx arrays to the edge
+// lists: every dense index must name exactly the edge's endpoint, in the
+// parent graph and in an induced subgraph.
+func TestDenseIndexesMirrorEdges(t *testing.T) {
+	g, ps := buildFig1()
+	check := func(g *Graph, ctx string) {
+		t.Helper()
+		for i := range g.Vertices() {
+			out, outIdx := g.OutAt(i), g.OutIndexesAt(i)
+			if len(out) != len(outIdx) {
+				t.Fatalf("%s: vertex %d out %d edges, %d indexes", ctx, i, len(out), len(outIdx))
+			}
+			for k, e := range out {
+				if got := g.IndexOf(e.To); got != int(outIdx[k]) {
+					t.Fatalf("%s: outIdx[%d][%d] = %d, IndexOf(To) = %d", ctx, i, k, outIdx[k], got)
+				}
+			}
+			in, inIdx := g.InAt(i), g.InIndexesAt(i)
+			if len(in) != len(inIdx) {
+				t.Fatalf("%s: vertex %d in %d edges, %d indexes", ctx, i, len(in), len(inIdx))
+			}
+			for k, e := range in {
+				if got := g.IndexOf(e.From); got != int(inIdx[k]) {
+					t.Fatalf("%s: inIdx[%d][%d] = %d, IndexOf(From) = %d", ctx, i, k, inIdx[k], got)
+				}
+			}
+		}
+	}
+	check(g, "parent")
+	sub := g.Subgraph([]pair.Pair{ps["tim"], ps["cradle"], ps["player"], ps["cp"]})
+	check(sub, "subgraph")
+	// The subgraph keeps every edge among the kept vertices.
+	if sub.NumEdges() == 0 {
+		t.Fatal("subgraph dropped all edges")
+	}
+}
+
+// TestOutGroupsAtInverseTieBreak is the regression test for the label
+// ordering bug: two labels differing only in direction must group in the
+// specified forward-before-inverse order (BuildProb used to sort labels on
+// (R1, R2) alone, leaving the tie to sort.Slice's unstable whim).
+func TestOutGroupsAtInverseTieBreak(t *testing.T) {
+	k1 := kb.New("k1")
+	k2 := kb.New("k2")
+	r1 := k1.AddRel("linked")
+	r2 := k2.AddRel("linked")
+	a1, b1 := k1.AddEntity("a1"), k1.AddEntity("b1")
+	a2, b2 := k2.AddEntity("a2"), k2.AddEntity("b2")
+	// The relation runs both ways between a and b in both KBs, so vertex
+	// (a1,a2) carries a forward AND an inverse edge under the same (r1,r2).
+	k1.AddRelTriple(a1, r1, b1)
+	k1.AddRelTriple(b1, r1, a1)
+	k2.AddRelTriple(a2, r2, b2)
+	k2.AddRelTriple(b2, r2, a2)
+	va := pair.Pair{U1: a1, U2: a2}
+	vb := pair.Pair{U1: b1, U2: b2}
+	g := Build(k1, k2, []pair.Pair{va, vb})
+	groups := g.OutGroupsAt(g.IndexOf(va))
+	if len(groups) != 2 {
+		t.Fatalf("got %d label groups, want 2 (forward + inverse): %+v", len(groups), groups)
+	}
+	if groups[0].Label.Inverse || !groups[1].Label.Inverse {
+		t.Fatalf("labels out of order: %+v then %+v, want forward before inverse", groups[0].Label, groups[1].Label)
+	}
+	for gi, grp := range groups {
+		if len(grp.Edges) != len(grp.To) {
+			t.Fatalf("group %d: %d edges, %d to-indexes", gi, len(grp.Edges), len(grp.To))
+		}
+		for k, e := range grp.Edges {
+			if g.IndexOf(e.To) != int(grp.To[k]) {
+				t.Fatalf("group %d edge %d: To index %d, IndexOf %d", gi, k, grp.To[k], g.IndexOf(e.To))
+			}
+		}
+	}
+	if !(RelPair{R1: r1, R2: r2}).Less(RelPair{R1: r1, R2: r2, Inverse: true}) {
+		t.Error("RelPair.Less must order forward before inverse")
+	}
+}
+
 func TestIsolated(t *testing.T) {
 	k1, k2, ps := figure1KBs()
 	lonely1 := k1.AddEntity("y:Lonely")

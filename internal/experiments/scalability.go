@@ -168,8 +168,8 @@ func Figure6(w io.Writer, seed int64) []ScalePoint {
 		cands := make([]selection.Candidate, 0, n)
 		for i, v := range sub.Graph.Vertices() {
 			inf := []int{i}
-			for j := range inferred.SetIndexes(i) {
-				inf = append(inf, j)
+			for _, en := range inferred.Ball(i) {
+				inf = append(inf, int(en.Idx))
 			}
 			cands = append(cands, selection.Candidate{Pair: v, Prob: sub.Priors[v], Inferred: inf})
 		}

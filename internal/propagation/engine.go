@@ -1,38 +1,39 @@
 package propagation
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/pair"
 )
 
-// Engine maintains the bounded-distance maps of Algorithm 2 incrementally
+// Engine maintains the bounded-distance balls of Algorithm 2 incrementally
 // across the human–machine loop. The full InferAll recompute that the loop
 // used to pay on every edge mutation is replaced by dirty-source tracking:
-// the reverse map rev[p] names precisely the sources whose ζ-balls contain
-// a vertex p, so when edges incident to p are removed (a confirmed match's
-// competitors being detached, a worker-labeled non-match), only those
-// sources plus p itself can change and only they are re-run. Re-estimation
-// replaces the whole probabilistic graph, so it triggers a parallel full
-// rebuild instead.
+// the reverse index rev[p] names precisely the sources whose ζ-balls
+// contain a vertex p, so when edges incident to p are removed (a confirmed
+// match's competitors being detached, a worker-labeled non-match), only
+// those sources plus p itself can change and only they are re-run.
+// Re-estimation replaces the whole probabilistic graph, so it triggers a
+// parallel full rebuild instead.
 //
 // The incremental step is exact for removal-only batches: any ζ-bounded
 // path of a source q that uses an edge incident to a touched vertex p
 // reaches p within ζ on a prefix of that path, so q ∈ rev[p] as of the
 // last Sync (removals only shrink balls, so the stale rev is a superset of
 // the true one). Every other source keeps all of its shortest paths and
-// gains none, hence its map is bitwise unchanged. Strengthened or added
+// gains none, hence its ball is bitwise unchanged. Strengthened or added
 // edges can pull new vertices into arbitrary balls, so SetProb falls back
 // to a full rebuild for them; the pipeline only strengthens edges via
 // re-estimation, which rebuilds anyway.
 //
 // Mutators (DetachVertex, SetProb, Reset, InvalidateAll) only record
 // invalidations; Sync applies them, fanning one bounded Dijkstra per dirty
-// source across GOMAXPROCS goroutines. Readers (Set, SetIndexes, Prob)
-// deliberately serve the maps as of the last Sync: the loop resolves each
-// batch of µ questions against one snapshot (the paper's semantics), then
-// Syncs at the top of the next loop.
+// source across GOMAXPROCS goroutines, each worker reusing one pooled
+// dense scratch. Readers (Set, Ball, Prob) deliberately serve the balls as
+// of the last Sync: the loop resolves each batch of µ questions against
+// one snapshot (the paper's semantics), then Syncs at the top of the next
+// loop.
 //
 // An Engine is not safe for concurrent use; Sync's internal workers are
 // the only concurrency it owns.
@@ -40,14 +41,12 @@ type Engine struct {
 	pg   *ProbGraph
 	tau  float64
 	zeta float64
-	// dist and rev mirror Inferred: dist[q][p] = bounded distance bt(q),
-	// rev[p][q] its inverse index bt⁻¹(p).
-	dist []map[int]float64
-	rev  []map[int]float64
-	// sorted memoizes the ascending key order of dist[q] (nil = stale);
-	// Sync drops the entries of recomputed sources, so clean sources keep
-	// their slice across loops instead of re-sorting every ball per loop.
-	sorted [][]int
+	// dist and rev mirror Inferred: dist[q] = the sorted ball bt(q);
+	// rev[p] lists the sources whose balls contain p, the inverse index
+	// bt⁻¹(p). rev rows are unordered sets — invalidation only iterates
+	// them — kept duplicate-free by the Sync bookkeeping.
+	dist []Ball
+	rev  [][]int32
 
 	dirty map[int]struct{} // source indexes queued for recompute
 	full  bool             // pending whole-graph rebuild
@@ -55,7 +54,7 @@ type Engine struct {
 	recomputes atomic.Int64 // single-source Dijkstra runs, for tests/benchmarks
 }
 
-// NewEngine builds the engine and computes the initial maps with a
+// NewEngine builds the engine and computes the initial balls with a
 // parallel InferAll. τ must be pre-validated (see zetaOf).
 func NewEngine(pg *ProbGraph, tau float64) *Engine {
 	e := &Engine{
@@ -116,18 +115,11 @@ func (e *Engine) DetachVertex(q pair.Pair) {
 	if i < 0 {
 		return
 	}
-	if len(e.pg.out[i]) == 0 && len(e.pg.in[i]) == 0 {
+	if out, in := e.pg.degreeAt(i); out == 0 && in == 0 {
 		return // already detached: nothing can have changed
 	}
 	e.markBallDirty(i)
-	for j := range e.pg.out[i] {
-		delete(e.pg.in[j], i)
-	}
-	clear(e.pg.out[i])
-	for j := range e.pg.in[i] {
-		delete(e.pg.out[j], i)
-	}
-	clear(e.pg.in[i])
+	e.pg.detachAt(i)
 }
 
 // SetProb overrides one edge probability. Weakened or removed edges
@@ -139,7 +131,7 @@ func (e *Engine) SetProb(from, to pair.Pair, p float64) {
 	if i < 0 || j < 0 || i == j {
 		return
 	}
-	old := e.pg.out[i][j]
+	old := e.pg.probAt(i, j)
 	switch {
 	case p > old:
 		e.full = true
@@ -148,7 +140,7 @@ func (e *Engine) SetProb(from, to pair.Pair, p float64) {
 	default:
 		return
 	}
-	e.pg.SetProb(from, to, p)
+	e.pg.setProbAt(i, j, p)
 }
 
 // Reset swaps in a freshly rebuilt probabilistic graph (re-estimation) and
@@ -171,14 +163,14 @@ func (e *Engine) markBallDirty(i int) {
 		return
 	}
 	e.dirty[i] = struct{}{}
-	for q := range e.rev[i] {
-		e.dirty[q] = struct{}{}
+	for _, q := range e.rev[i] {
+		e.dirty[int(q)] = struct{}{}
 	}
 }
 
-// Sync brings the maps up to date: a pending full rebuild recomputes every
-// source, otherwise only the dirty sources are re-run, all fanned across
-// GOMAXPROCS goroutines. A clean engine returns immediately.
+// Sync brings the balls up to date: a pending full rebuild recomputes
+// every source, otherwise only the dirty sources are re-run, all fanned
+// across GOMAXPROCS goroutines. A clean engine returns immediately.
 func (e *Engine) Sync() {
 	if e.full {
 		e.rebuild()
@@ -202,78 +194,67 @@ func (e *Engine) Sync() {
 	for i := range e.dirty {
 		srcs = append(srcs, i)
 	}
-	sort.Ints(srcs)
-	// Drop the stale forward entries from the reverse index before the
-	// parallel phase; reinstalling happens serially afterwards because
-	// distinct sources share rev buckets.
+	slices.Sort(srcs)
+	// Drop the dirty sources from every reverse row their stale balls
+	// touch before the parallel phase; reinstalling from the fresh balls
+	// happens serially afterwards because distinct sources share rev rows.
+	touched := make([]int32, 0, 64)
 	for _, i := range srcs {
-		for j := range e.dist[i] {
-			delete(e.rev[j], i)
+		for _, en := range e.dist[i] {
+			touched = append(touched, en.Idx)
 		}
 	}
-	results := make([]map[int]float64, len(srcs))
+	slices.Sort(touched)
+	touched = slices.Compact(touched)
+	for _, j := range touched {
+		keep := e.rev[j][:0]
+		for _, s := range e.rev[j] {
+			if _, isDirty := e.dirty[int(s)]; !isDirty {
+				keep = append(keep, s)
+			}
+		}
+		e.rev[j] = keep
+	}
+	results := make([]Ball, len(srcs))
 	e.pg.inferSources(e.zeta, srcs, results)
 	e.recomputes.Add(int64(len(srcs)))
 	for k, i := range srcs {
 		e.dist[i] = results[k]
-		e.sorted[i] = nil
-		for j, d := range results[k] {
-			e.rev[j][i] = d
+		for _, en := range results[k] {
+			e.rev[en.Idx] = append(e.rev[en.Idx], int32(i))
 		}
 	}
 	clear(e.dirty)
 }
 
 // rebuild recomputes every source from scratch in parallel, sharing
-// InferAll's implementation and adopting its maps.
+// InferAll's implementation. The rebuild is also where a pending SetProb
+// overlay is folded into the CSR, so the steady-state Dijkstras that
+// follow run on pure flat storage.
 func (e *Engine) rebuild() {
+	e.pg.Fold()
 	n := e.pg.g.NumVertices()
-	e.dist, e.rev = e.pg.computeAll(e.zeta)
-	e.sorted = make([][]int, n)
+	e.dist = e.pg.computeAll(e.zeta)
+	e.rev = buildRev(e.dist, n)
 	e.recomputes.Add(int64(n))
 }
 
-// SetIndexes returns inferred(q) as vertex indexes (q excluded), as of the
-// last Sync. The returned map is the engine's own; callers must not
-// mutate it.
-func (e *Engine) SetIndexes(q int) map[int]float64 { return e.dist[q] }
+// Ball returns inferred(q) by dense index (q excluded), ascending in
+// vertex index, as of the last Sync. The slice is the engine's own;
+// callers must not mutate it.
+func (e *Engine) Ball(q int) Ball { return e.dist[q] }
 
-// SortedSetIndexes returns inferred(q) as ascending vertex indexes, as of
-// the last Sync. The slice is memoized per source and survives across
-// Syncs for sources that were not recomputed, so per-loop consumers don't
-// re-sort unchanged balls. Callers must not mutate it.
-func (e *Engine) SortedSetIndexes(q int) []int {
-	if e.sorted[q] == nil {
-		keys := make([]int, 0, len(e.dist[q]))
-		for j := range e.dist[q] {
-			keys = append(keys, j)
-		}
-		sort.Ints(keys)
-		e.sorted[q] = keys
-	}
-	return e.sorted[q]
-}
-
-// Inferred snapshots the engine's current maps as an immutable Inferred
+// Inferred snapshots the engine's current balls as an immutable Inferred
 // value (deep copy), mainly for diagnostics and tests.
 func (e *Engine) Inferred() *Inferred {
 	inf := &Inferred{
 		pg:   e.pg,
 		zeta: e.zeta,
-		dist: make([]map[int]float64, len(e.dist)),
-		rev:  make([]map[int]float64, len(e.rev)),
+		dist: make([]Ball, len(e.dist)),
 	}
-	for i, m := range e.dist {
-		inf.dist[i] = make(map[int]float64, len(m))
-		for j, d := range m {
-			inf.dist[i][j] = d
-		}
+	for i, b := range e.dist {
+		inf.dist[i] = slices.Clone(b)
 	}
-	for i, m := range e.rev {
-		inf.rev[i] = make(map[int]float64, len(m))
-		for j, d := range m {
-			inf.rev[i][j] = d
-		}
-	}
+	inf.rev = buildRev(inf.dist, len(e.dist))
 	return inf
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"slices"
 	"testing"
 
 	"repro/internal/ergraph"
@@ -12,9 +13,41 @@ import (
 	"repro/internal/pair"
 )
 
+// randomAdj draws a random high-probability adjacency over n vertices,
+// the same construction used by TestInferAllMatchesDijkstra.
+func randomAdj(rng *rand.Rand, n int, density float64) []map[int]float64 {
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = map[int]float64{}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				adj[i][j] = 0.8 + 0.2*rng.Float64()
+			}
+		}
+	}
+	return adj
+}
+
+// probGraphFromAdj builds a CSR probabilistic graph over g from explicit
+// adjacency maps by writing every edge through the SetProb overlay and
+// folding, so the test constructor exercises the same overlay + Fold path
+// re-estimation uses.
+func probGraphFromAdj(g *ergraph.Graph, adj []map[int]float64) *ProbGraph {
+	pg := &ProbGraph{g: g, rowStart: make([]int32, g.NumVertices()+1)}
+	pg.finish()
+	for i, m := range adj {
+		for j, p := range m {
+			pg.setProbAt(i, j, p)
+		}
+	}
+	pg.Fold()
+	return pg
+}
+
 // randomPG builds a probabilistic graph over n isolated vertex pairs with
-// random high-probability directed edges, the same construction used by
-// TestInferAllMatchesDijkstra.
+// random high-probability directed edges.
 func randomPG(rng *rand.Rand, n int, density float64) (*ProbGraph, []pair.Pair) {
 	k1 := kb.New("k1")
 	k2 := kb.New("k2")
@@ -26,24 +59,10 @@ func randomPG(rng *rand.Rand, n int, density float64) (*ProbGraph, []pair.Pair) 
 		}
 	}
 	g := ergraph.Build(k1, k2, verts)
-	pg := &ProbGraph{g: g, out: make([]map[int]float64, n), in: make([]map[int]float64, n)}
-	for i := range pg.out {
-		pg.out[i] = map[int]float64{}
-		pg.in[i] = map[int]float64{}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j && rng.Float64() < density {
-				p := 0.8 + 0.2*rng.Float64()
-				pg.out[i][j] = p
-				pg.in[j][i] = p
-			}
-		}
-	}
-	return pg, verts
+	return probGraphFromAdj(g, randomAdj(rng, n, density)), verts
 }
 
-// assertMatchesOracle compares the engine's maps entry-by-entry against a
+// assertMatchesOracle compares the engine's balls entry-by-entry against a
 // fresh paper-faithful Floyd–Warshall run on the current graph state.
 func assertMatchesOracle(t *testing.T, e *Engine, ctx string) {
 	t.Helper()
@@ -53,20 +72,31 @@ func assertMatchesOracle(t *testing.T, e *Engine, ctx string) {
 		t.Fatalf("%s: engine sized %d/%d, graph has %d vertices", ctx, len(e.dist), len(e.rev), n)
 	}
 	for i := 0; i < n; i++ {
-		compareDistMaps(t, ctx, "dist", i, e.dist[i], want.dist[i])
-		compareDistMaps(t, ctx, "rev", i, e.rev[i], want.rev[i])
+		compareBalls(t, ctx, "dist", i, e.dist[i], want.dist[i])
+		compareRevRows(t, ctx, i, e.rev[i], want.rev[i])
 	}
 }
 
-func compareDistMaps(t *testing.T, ctx, kind string, i int, got, want map[int]float64) {
+func compareBalls(t *testing.T, ctx, kind string, i int, got, want Ball) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: %s[%d] has %d entries, oracle %d (got=%v want=%v)", ctx, kind, i, len(got), len(want), got, want)
 	}
-	for j, d := range want {
-		if gd, ok := got[j]; !ok || math.Abs(gd-d) > 1e-9 {
-			t.Fatalf("%s: %s[%d][%d] = %v, oracle %v", ctx, kind, i, j, got[j], d)
+	for k, w := range want {
+		if got[k].Idx != w.Idx || math.Abs(got[k].Dist-w.Dist) > 1e-9 {
+			t.Fatalf("%s: %s[%d][%d] = %+v, oracle %+v", ctx, kind, i, k, got[k], w)
 		}
+	}
+}
+
+// compareRevRows compares reverse rows as source sets: the engine keeps
+// its rows unordered, the oracle's are ascending.
+func compareRevRows(t *testing.T, ctx string, i int, got, want []int32) {
+	t.Helper()
+	g := append([]int32(nil), got...)
+	slices.Sort(g)
+	if !slices.Equal(g, want) {
+		t.Fatalf("%s: rev[%d] = %v, oracle %v", ctx, i, g, want)
 	}
 }
 
@@ -83,7 +113,7 @@ func TestNewEngineMatchesInferAll(t *testing.T) {
 		assertMatchesOracle(t, e, fmt.Sprintf("iter %d initial", iter))
 		inf := pg.InferAll(tau)
 		for i := 0; i < n; i++ {
-			compareDistMaps(t, "vs InferAll", "dist", i, e.dist[i], inf.dist[i])
+			compareBalls(t, "vs InferAll", "dist", i, e.dist[i], inf.dist[i])
 		}
 	}
 }
@@ -114,7 +144,7 @@ func TestEngineRandomizedInvalidation(t *testing.T) {
 				case 2:
 					e.SetProb(verts[i], verts[j], 0) // remove one edge
 				case 3:
-					old := e.Graph().out[i][j]
+					old := e.Graph().probAt(i, j)
 					e.SetProb(verts[i], verts[j], old*0.5) // weaken
 				case 4:
 					e.SetProb(verts[i], verts[j], 0.8+0.2*rng.Float64()) // add/strengthen → full rebuild
@@ -220,10 +250,10 @@ func TestEngineSnapshotIsDeepCopy(t *testing.T) {
 	pg := BuildProb(g, k1, k2, strongParams(g))
 	e := NewEngine(pg, 0.8)
 	snap := e.Inferred()
-	before := len(snap.SetIndexes(0))
+	before := len(snap.Ball(0))
 	e.DetachVertex(vs[1])
 	e.Sync()
-	if len(snap.SetIndexes(0)) != before {
+	if len(snap.Ball(0)) != before {
 		t.Fatal("snapshot changed when the engine was mutated")
 	}
 	if snap.Zeta() != e.Zeta() {

@@ -1,15 +1,40 @@
 package propagation
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/pair"
 )
+
+// BallEntry is one inferred vertex of a ζ-bounded single-source run: the
+// dense vertex index and the bounded distance dist(q, p) ≤ ζ.
+type BallEntry struct {
+	Idx  int32
+	Dist float64
+}
+
+// Ball is the emitted result of one single-source run: the vertices p ≠ q
+// with dist(q, p) ≤ ζ, ascending in Idx. The flat sorted layout replaces
+// the map[int]float64 the engine used to allocate per source: consumers
+// iterate it in deterministic order for free and membership is a binary
+// search.
+type Ball []BallEntry
+
+// Get returns dist(q, j) and whether j is in the ball.
+func (b Ball) Get(j int) (float64, bool) {
+	k, ok := slices.BinarySearchFunc(b, int32(j), func(e BallEntry, target int32) int {
+		return int(e.Idx - target)
+	})
+	if !ok {
+		return 0, false
+	}
+	return b[k].Dist, true
+}
 
 // Inferred holds, for every vertex q, the set of vertices p reachable with
 // path probability at least τ, i.e. dist(q,p) ≤ ζ = −log τ where edge
@@ -17,10 +42,10 @@ import (
 type Inferred struct {
 	pg   *ProbGraph
 	zeta float64
-	// dist[q][p] = shortest bounded distance (the paper's bt(q));
-	// rev[p][q] mirrors it (the paper's bt⁻¹(p)).
-	dist []map[int]float64
-	rev  []map[int]float64
+	// dist[q] = the ball bt(q) of the paper; rev[p] lists the sources q
+	// whose balls contain p (the paper's bt⁻¹(p)), ascending.
+	dist []Ball
+	rev  [][]int32
 }
 
 // Zeta returns the distance bound −log τ.
@@ -28,58 +53,74 @@ func (inf *Inferred) Zeta() float64 { return inf.zeta }
 
 // InferAll computes the bounded distance maps of Algorithm 2 by running a
 // ζ-bounded Dijkstra from every vertex, fanned across GOMAXPROCS
-// goroutines. It produces exactly the same maps as InferAllFW (the paper's
-// modified Floyd–Warshall, kept for fidelity and cross-checked in tests)
-// but scales linearly rather than quadratically in the per-vertex
+// goroutines. It produces exactly the same distances as InferAllFW (the
+// paper's modified Floyd–Warshall, kept for fidelity and cross-checked in
+// tests) but scales linearly rather than quadratically in the per-vertex
 // reachable-set size, which dominates on the dense connected components of
 // IIMB-like datasets.
 func (pg *ProbGraph) InferAll(tau float64) *Inferred {
 	inf := &Inferred{pg: pg, zeta: zetaOf(tau)}
-	inf.dist, inf.rev = pg.computeAll(inf.zeta)
+	inf.dist = pg.computeAll(inf.zeta)
+	inf.rev = buildRev(inf.dist, pg.g.NumVertices())
 	return inf
 }
 
-// computeAll runs the parallel per-source Dijkstra fan-out and builds the
-// reverse index; it is shared by InferAll and the Engine's full rebuild.
-func (pg *ProbGraph) computeAll(zeta float64) (dist, rev []map[int]float64) {
+// computeAll runs the parallel per-source Dijkstra fan-out; it is shared
+// by InferAll and the Engine's full rebuild.
+func (pg *ProbGraph) computeAll(zeta float64) []Ball {
 	n := pg.g.NumVertices()
-	dist = make([]map[int]float64, n)
-	rev = make([]map[int]float64, n)
+	dist := make([]Ball, n)
 	srcs := make([]int, n)
 	for i := range srcs {
 		srcs[i] = i
 	}
 	pg.inferSources(zeta, srcs, dist)
-	for i := 0; i < n; i++ {
-		rev[i] = make(map[int]float64)
-	}
-	for i, m := range dist {
-		for j, d := range m {
-			rev[j][i] = d
+	return dist
+}
+
+// buildRev inverts the balls: rev[p] lists the sources whose ball contains
+// p. Iterating sources ascending makes every rev row ascending for free;
+// one flat backing array holds all rows (full slice expressions keep later
+// appends from clobbering neighbors).
+func buildRev(dist []Ball, n int) [][]int32 {
+	cnt := make([]int32, n+1)
+	total := 0
+	for _, b := range dist {
+		total += len(b)
+		for _, en := range b {
+			cnt[en.Idx+1]++
 		}
 	}
-	return dist, rev
+	start := make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		start[j+1] = start[j] + cnt[j+1]
+	}
+	flat := make([]int32, total)
+	fill := append([]int32(nil), start[:n]...)
+	for i, b := range dist {
+		for _, en := range b {
+			flat[fill[en.Idx]] = int32(i)
+			fill[en.Idx]++
+		}
+	}
+	rev := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		rev[j] = flat[start[j]:start[j+1]:start[j+1]]
+	}
+	return rev
 }
 
 // inferAllSerial is the single-goroutine reference implementation of
 // InferAll, kept for benchmarking the parallel fan-out against.
 func (pg *ProbGraph) inferAllSerial(tau float64) *Inferred {
 	n := pg.g.NumVertices()
-	inf := &Inferred{
-		pg:   pg,
-		zeta: zetaOf(tau),
-		dist: make([]map[int]float64, n),
-		rev:  make([]map[int]float64, n),
-	}
+	inf := &Inferred{pg: pg, zeta: zetaOf(tau), dist: make([]Ball, n)}
+	sc := getScratch(n)
 	for i := 0; i < n; i++ {
-		inf.rev[i] = make(map[int]float64)
+		inf.dist[i] = pg.inferFromIndex(i, inf.zeta, sc)
 	}
-	for i := 0; i < n; i++ {
-		inf.dist[i] = pg.inferFromIndex(i, inf.zeta)
-		for j, d := range inf.dist[i] {
-			inf.rev[j][i] = d
-		}
-	}
+	putScratch(sc)
+	inf.rev = buildRev(inf.dist, n)
 	return inf
 }
 
@@ -87,19 +128,23 @@ func (pg *ProbGraph) inferAllSerial(tau float64) *Inferred {
 // costs more than the Dijkstra work it would parallelize.
 const minParallelSources = 64
 
-// inferSources computes the ζ-bounded single-source maps for every source
+// inferSources computes the ζ-bounded single-source balls for every source
 // index in srcs, writing results[k] for srcs[k]. Work is distributed over
-// GOMAXPROCS goroutines via an atomic cursor; each source's map is
-// independent, so the result is deterministic regardless of scheduling.
-func (pg *ProbGraph) inferSources(zeta float64, srcs []int, results []map[int]float64) {
+// GOMAXPROCS goroutines via an atomic cursor; each worker owns one pooled
+// scratch for its whole share, and each source's ball is independent, so
+// the result is deterministic regardless of scheduling.
+func (pg *ProbGraph) inferSources(zeta float64, srcs []int, results []Ball) {
+	n := pg.g.NumVertices()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(srcs) {
 		workers = len(srcs)
 	}
 	if workers <= 1 || len(srcs) < minParallelSources {
+		sc := getScratch(n)
 		for k, s := range srcs {
-			results[k] = pg.inferFromIndex(s, zeta)
+			results[k] = pg.inferFromIndex(s, zeta, sc)
 		}
+		putScratch(sc)
 		return
 	}
 	var cursor atomic.Int64
@@ -108,12 +153,14 @@ func (pg *ProbGraph) inferSources(zeta float64, srcs []int, results []map[int]fl
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			sc := getScratch(n)
+			defer putScratch(sc)
 			for {
 				k := int(cursor.Add(1)) - 1
 				if k >= len(srcs) {
 					return
 				}
-				results[k] = pg.inferFromIndex(srcs[k], zeta)
+				results[k] = pg.inferFromIndex(srcs[k], zeta, sc)
 			}
 		}()
 	}
@@ -126,32 +173,40 @@ func (pg *ProbGraph) inferSources(zeta float64, srcs []int, results []map[int]fl
 // sets. Because all lengths are nonnegative, any subpath of a ζ-bounded
 // path is itself ζ-bounded, so restricting the maps to entries ≤ ζ is
 // lossless. It is kept as the paper-faithful oracle that the Dijkstra
-// engine is cross-checked against.
+// engine is cross-checked against; it reads the CSR (and any unfolded
+// overlay) but works on plain maps, converted to balls at the end.
 func (pg *ProbGraph) InferAllFW(tau float64) *Inferred {
 	n := pg.g.NumVertices()
-	inf := &Inferred{
-		pg:   pg,
-		zeta: zetaOf(tau),
-		dist: make([]map[int]float64, n),
-		rev:  make([]map[int]float64, n),
-	}
+	zeta := zetaOf(tau)
+	dist := make([]map[int32]float64, n)
+	rev := make([]map[int32]float64, n)
 	for i := 0; i < n; i++ {
-		inf.dist[i] = make(map[int]float64)
-		inf.rev[i] = make(map[int]float64)
+		dist[i] = make(map[int32]float64)
+		rev[i] = make(map[int32]float64)
 	}
 	// Lines 3–5: seed with single edges.
+	seed := func(i int, j int32, l float64) {
+		if l <= zeta {
+			dist[i][j] = l
+			rev[j][int32(i)] = l
+		}
+	}
 	for i := 0; i < n; i++ {
-		for j, p := range pg.out[i] {
-			if l := -math.Log(p); l <= inf.zeta {
-				inf.dist[i][j] = l
-				inf.rev[j][i] = l
+		for e := pg.rowStart[i]; e < pg.rowStart[i+1]; e++ {
+			if pg.prob[e] > 0 {
+				seed(i, pg.colIdx[e], pg.length[e])
+			}
+		}
+		if pg.ovOut != nil {
+			for j, p := range pg.ovOut[i] {
+				seed(i, j, -math.Log(p))
 			}
 		}
 	}
 	// Lines 6–11: relax through each intermediate k.
 	for k := 0; k < n; k++ {
-		dk := inf.dist[k]
-		rk := inf.rev[k]
+		dk := dist[k]
+		rk := rev[k]
 		if len(dk) == 0 || len(rk) == 0 {
 			continue
 		}
@@ -161,57 +216,104 @@ func (pg *ProbGraph) InferAllFW(tau float64) *Inferred {
 					continue
 				}
 				d := dik + dkj
-				if d > inf.zeta {
+				if d > zeta {
 					continue
 				}
-				if cur, ok := inf.dist[i][j]; !ok || d < cur {
-					inf.dist[i][j] = d
-					inf.rev[j][i] = d
+				if cur, ok := dist[i][j]; !ok || d < cur {
+					dist[i][j] = d
+					rev[j][i] = d
 				}
 			}
 		}
 	}
+	inf := &Inferred{pg: pg, zeta: zeta, dist: make([]Ball, n)}
+	for i := 0; i < n; i++ {
+		inf.dist[i] = ballFromMap(dist[i])
+	}
+	inf.rev = buildRev(inf.dist, n)
 	return inf
 }
 
+// ballFromMap converts a sparse distance map into the sorted Ball layout.
+func ballFromMap(m map[int32]float64) Ball {
+	b := make(Ball, 0, len(m))
+	for j, d := range m {
+		b = append(b, BallEntry{Idx: j, Dist: d})
+	}
+	slices.SortFunc(b, func(x, y BallEntry) int { return int(x.Idx - y.Idx) })
+	return b
+}
+
 // InferFrom runs a single-source bounded Dijkstra from q, returning the
-// map p → dist(q,p) for dist ≤ ζ (excluding q itself). It is equivalent to
+// ball of vertices with dist ≤ ζ (excluding q itself). It is equivalent to
 // the q-th row of InferAll and is used for incremental queries and as a
 // cross-check oracle in tests.
-func (pg *ProbGraph) InferFrom(q pair.Pair, tau float64) map[int]float64 {
+func (pg *ProbGraph) InferFrom(q pair.Pair, tau float64) Ball {
 	src := pg.g.IndexOf(q)
 	if src < 0 {
 		return nil
 	}
-	return pg.inferFromIndex(src, zetaOf(tau))
+	sc := getScratch(pg.g.NumVertices())
+	b := pg.inferFromIndex(src, zetaOf(tau), sc)
+	putScratch(sc)
+	return b
 }
 
 // inferFromIndex is the hot Dijkstra loop shared by InferAll, InferFrom
 // and the incremental Engine: a ζ-bounded single-source run from vertex
-// index src. Stale heap entries are skipped by comparing the popped
-// distance against the current best instead of a visited set.
-func (pg *ProbGraph) inferFromIndex(src int, zeta float64) map[int]float64 {
-	dist := map[int]float64{src: 0}
-	h := make(distHeap, 1, 64)
-	h[0] = distItem{src, 0}
-	for h.Len() > 0 {
-		item := heap.Pop(&h).(distItem)
-		if item.d > dist[item.v] {
+// index src on the caller-owned scratch. Stale heap entries are skipped by
+// comparing the popped distance against the current best instead of a
+// visited set; relaxations walk the CSR row with precomputed −log lengths
+// (removed slots carry +Inf and fall to the ζ test the loop already
+// performs). The only allocation is the returned Ball.
+func (pg *ProbGraph) inferFromIndex(src int, zeta float64, sc *scratch) Ball {
+	sc.begin()
+	sc.reach(int32(src), 0)
+	sc.push(heapEntry{0, int32(src)})
+	for len(sc.heap) > 0 {
+		it := sc.pop()
+		if it.d > sc.dist[it.v] {
 			continue // superseded entry
 		}
-		for j, p := range pg.out[item.v] {
-			d := item.d - math.Log(p)
+		for e := pg.rowStart[it.v]; e < pg.rowStart[it.v+1]; e++ {
+			d := it.d + pg.length[e]
 			if d > zeta {
 				continue
 			}
-			if cur, ok := dist[j]; !ok || d < cur {
-				dist[j] = d
-				heap.Push(&h, distItem{j, d})
+			j := pg.colIdx[e]
+			if !sc.visited(j) {
+				sc.reach(j, d)
+				sc.push(heapEntry{d, j})
+			} else if d < sc.dist[j] {
+				sc.dist[j] = d
+				sc.push(heapEntry{d, j})
+			}
+		}
+		if pg.ovOut != nil {
+			for j, p := range pg.ovOut[it.v] {
+				d := it.d - math.Log(p)
+				if d > zeta {
+					continue
+				}
+				if !sc.visited(j) {
+					sc.reach(j, d)
+					sc.push(heapEntry{d, j})
+				} else if d < sc.dist[j] {
+					sc.dist[j] = d
+					sc.push(heapEntry{d, j})
+				}
 			}
 		}
 	}
-	delete(dist, src)
-	return dist
+	ball := make(Ball, 0, len(sc.touched)-1)
+	for _, j := range sc.touched {
+		if int(j) == src {
+			continue
+		}
+		ball = append(ball, BallEntry{Idx: j, Dist: sc.dist[j]})
+	}
+	slices.SortFunc(ball, func(a, b BallEntry) int { return int(a.Idx - b.Idx) })
+	return ball
 }
 
 // zetaOf converts the precision threshold τ into the distance bound
@@ -235,14 +337,16 @@ func (inf *Inferred) Set(q pair.Pair) []pair.Pair {
 	}
 	verts := inf.pg.g.Vertices()
 	out := make([]pair.Pair, 0, len(inf.dist[i]))
-	for j := range inf.dist[i] {
-		out = append(out, verts[j])
+	for _, en := range inf.dist[i] {
+		out = append(out, verts[en.Idx])
 	}
 	return out
 }
 
-// SetIndexes returns inferred(q) as vertex indexes (q excluded).
-func (inf *Inferred) SetIndexes(q int) map[int]float64 { return inf.dist[q] }
+// Ball returns inferred(q) by dense index (q excluded), ascending in
+// vertex index. The slice is the Inferred's own; callers must not mutate
+// it.
+func (inf *Inferred) Ball(q int) Ball { return inf.dist[q] }
 
 // Prob returns the propagated probability Pr[m_p | m_q] = e^{−dist(q,p)},
 // or 0 if p is not inferred from q. Pr[m_q | m_q] = 1.
@@ -255,29 +359,33 @@ func (inf *Inferred) Prob(q, p pair.Pair) float64 {
 	if i == j {
 		return 1
 	}
-	d, ok := inf.dist[i][j]
+	d, ok := inf.dist[i].Get(j)
 	if !ok {
 		return 0
 	}
 	return math.Exp(-d)
 }
 
-// distItem and distHeap implement container/heap for Dijkstra.
-type distItem struct {
-	v int
-	d float64
-}
-
-type distHeap []distItem
-
-func (h distHeap) Len() int           { return len(h) }
-func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// DistOrder returns the ball's positions ordered by (distance, tie-break
+// pair order): the order a confirmed match propagates in, so the 1:1
+// constraint lets the most probable pair of an entity win.
+func (b Ball) DistOrder(verts []pair.Pair) []int32 {
+	order := make([]int32, len(b))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(x, y int32) int {
+		ex, ey := b[x], b[y]
+		if ex.Dist != ey.Dist {
+			if ex.Dist < ey.Dist {
+				return -1
+			}
+			return 1
+		}
+		if verts[ex.Idx].Less(verts[ey.Idx]) {
+			return -1
+		}
+		return 1
+	})
+	return order
 }

@@ -13,12 +13,15 @@ import (
 )
 
 // CandidatePair is one potential match between the value sets of a
-// relationship pair, carrying its prior match probability.
+// relationship pair, carrying its prior match probability. Idx is the
+// dense ER-graph index of Pair (−1 when the pair is not a graph vertex),
+// so recording a posterior needs no pair lookup.
 type CandidatePair struct {
 	Row   int // index into the side-1 value list
 	Col   int // index into the side-2 value list
 	Pair  pair.Pair
 	Prior float64
+	Idx   int32
 }
 
 // Neighborhood describes the propagation instance around one matched

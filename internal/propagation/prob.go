@@ -2,7 +2,7 @@ package propagation
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/consistency"
 	"repro/internal/ergraph"
@@ -14,10 +14,42 @@ import (
 // edge (v, v′) annotated with the conditional probability Pr[m_v′ | m_v]
 // obtained from neighbor propagation. When several labels connect the same
 // ordered vertex pair, the most informative (maximum) probability is kept.
+//
+// Storage is compressed sparse row, built once by BuildProb: row i's edges
+// occupy colIdx/prob/length[rowStart[i]:rowStart[i+1]], ascending in
+// colIdx, with length[e] = −log prob[e] precomputed so the Dijkstra hot
+// loop never calls math.Log. The in-CSR (inRowStart/inSrc/inPos) mirrors
+// the topology for reverse traversal; inPos names the out-CSR slot of each
+// in-edge, so the prob/length arrays stay the single source of truth.
+// Edge deletions zero the slot in place (prob 0, length +Inf — the
+// ζ-bound prunes them with the comparison it already performs); edges
+// added after the build that have no slot go to a sparse overlay, which
+// Fold merges back into a compacted CSR on re-estimation rebuilds.
 type ProbGraph struct {
-	g   *ergraph.Graph
-	out []map[int]float64 // out[i][j] = Pr[m_j | m_i]
-	in  []map[int]float64 // in[j][i]  = Pr[m_j | m_i]
+	g *ergraph.Graph
+
+	rowStart []int32
+	colIdx   []int32
+	prob     []float64
+	length   []float64 // −log prob, +Inf for removed slots
+
+	// in-CSR mirror: vertex j's in-edges are inSrc/inPos[inRowStart[j]:
+	// inRowStart[j+1]]; inSrc is the source vertex, inPos the out-CSR slot.
+	inRowStart []int32
+	inSrc      []int32
+	inPos      []int32
+
+	// Live (positive-probability) degree per vertex, overlay included;
+	// maintained by setProbAt/detachAt so DetachVertex can skip vertices
+	// that are already bare without scanning their rows.
+	outDeg []int32
+	inDeg  []int32
+
+	// Overlay for edges added after the CSR was built (SetProb on a missing
+	// slot). nil until first needed, so the hot loop pays one pointer test.
+	ovOut   []map[int32]float64
+	ovIn    []map[int32]struct{}
+	ovCount int
 }
 
 // Params configures probabilistic graph construction.
@@ -46,44 +78,98 @@ func (p *Params) fill() {
 }
 
 // BuildProb computes conditional probabilities for every edge of g.
+// Rows accumulate through an epoch-stamped dense scratch (value + stamp
+// per vertex), so the max-merge across labels costs no map operations and
+// candidate indexes come straight from the graph's dense to-index arrays.
 func BuildProb(g *ergraph.Graph, k1, k2 *kb.KB, params Params) *ProbGraph {
 	params.fill()
-	pg := &ProbGraph{
-		g:   g,
-		out: make([]map[int]float64, g.NumVertices()),
-		in:  make([]map[int]float64, g.NumVertices()),
-	}
-	for i := range pg.out {
-		pg.out[i] = make(map[int]float64)
-		pg.in[i] = make(map[int]float64)
-	}
-	for i, v := range g.Vertices() {
-		byLabel := g.OutByLabel(v)
-		// Deterministic label order.
-		labels := make([]ergraph.RelPair, 0, len(byLabel))
-		for l := range byLabel {
-			labels = append(labels, l)
-		}
-		sort.Slice(labels, func(a, b int) bool {
-			if labels[a].R1 != labels[b].R1 {
-				return labels[a].R1 < labels[b].R1
-			}
-			return labels[a].R2 < labels[b].R2
-		})
-		for _, label := range labels {
-			edges := byLabel[label]
-			nb := buildNeighborhood(k1, k2, v, label, edges, params)
+	n := g.NumVertices()
+	pg := &ProbGraph{g: g, rowStart: make([]int32, n+1)}
+	rowVal := make([]float64, n)
+	rowStamp := make([]uint32, n)
+	var epoch uint32
+	var js []int32
+	nbb := newNBBuilder()
+	verts := g.Vertices()
+	for i := 0; i < n; i++ {
+		epoch++
+		js = js[:0]
+		// Labels process in the canonical (R1, R2, Inverse) order; the
+		// per-row result is a max-merge, so the order only fixes tie-free
+		// determinism, not the values.
+		for _, grp := range g.OutGroupsAt(i) {
+			nb := nbb.build(k1, k2, verts[i], grp, params)
+			var post []float64
 			if len(nb.Cands) > params.MaxExactCandidates {
 				// Force the approximation path by inflating dimensions.
-				post := approxPosteriors(nb.Cands, candWeights(nb))
-				pg.record(i, edges, nb, post)
-				continue
+				post = approxPosteriors(nb.Cands, candWeights(nb))
+			} else {
+				post = nb.Posteriors()
 			}
-			post := nb.Posteriors()
-			pg.record(i, edges, nb, post)
+			for ci, c := range nb.Cands {
+				j := c.Idx
+				if j < 0 || int(j) == i || post[ci] <= 0 {
+					continue
+				}
+				if rowStamp[j] != epoch {
+					rowStamp[j] = epoch
+					rowVal[j] = post[ci]
+					js = append(js, j)
+				} else if post[ci] > rowVal[j] {
+					rowVal[j] = post[ci]
+				}
+			}
+		}
+		slices.Sort(js)
+		for _, j := range js {
+			pg.colIdx = append(pg.colIdx, j)
+			pg.prob = append(pg.prob, rowVal[j])
+		}
+		pg.rowStart[i+1] = int32(len(pg.colIdx))
+	}
+	pg.finish()
+	return pg
+}
+
+// finish derives every secondary array (edge lengths, the in-CSR mirror,
+// live degrees) from rowStart/colIdx/prob and resets the overlay. It is
+// shared by BuildProb, Fold and the test constructors.
+func (pg *ProbGraph) finish() {
+	n := pg.g.NumVertices()
+	m := len(pg.colIdx)
+	pg.length = make([]float64, m)
+	pg.outDeg = make([]int32, n)
+	pg.inDeg = make([]int32, n)
+	cnt := make([]int32, n+1)
+	for e := 0; e < m; e++ {
+		if pg.prob[e] > 0 {
+			pg.length[e] = -math.Log(pg.prob[e])
+		} else {
+			pg.length[e] = math.Inf(1)
+		}
+		cnt[pg.colIdx[e]+1]++
+	}
+	pg.inRowStart = make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		pg.inRowStart[j+1] = pg.inRowStart[j] + cnt[j+1]
+	}
+	pg.inSrc = make([]int32, m)
+	pg.inPos = make([]int32, m)
+	fill := append([]int32(nil), pg.inRowStart[:n]...)
+	for i := 0; i < n; i++ {
+		for e := pg.rowStart[i]; e < pg.rowStart[i+1]; e++ {
+			j := pg.colIdx[e]
+			k := fill[j]
+			fill[j]++
+			pg.inSrc[k] = int32(i)
+			pg.inPos[k] = e
+			if pg.prob[e] > 0 {
+				pg.outDeg[i]++
+				pg.inDeg[j]++
+			}
 		}
 	}
-	return pg
+	pg.ovOut, pg.ovIn, pg.ovCount = nil, nil, 0
 }
 
 func candWeights(nb *Neighborhood) []float64 {
@@ -97,28 +183,38 @@ func candWeights(nb *Neighborhood) []float64 {
 	return w
 }
 
-func (pg *ProbGraph) record(from int, edges []ergraph.Edge, nb *Neighborhood, post []float64) {
-	for ci, c := range nb.Cands {
-		j := pg.g.IndexOf(c.Pair)
-		if j < 0 || j == from {
-			continue
-		}
-		if post[ci] > pg.out[from][j] {
-			pg.out[from][j] = post[ci]
-			pg.in[j][from] = post[ci]
-		}
-	}
-	_ = edges
+// nbBuilder assembles propagation instances, reusing its maps and
+// candidate buffer across every (vertex, label) of one BuildProb call —
+// each neighborhood is consumed (posteriors recorded) before the next
+// build overwrites it.
+type nbBuilder struct {
+	rowIdx map[kb.EntityID]int
+	colIdx map[kb.EntityID]int
+	seen   map[int32]struct{}
+	nb     Neighborhood
 }
 
-// buildNeighborhood assembles the propagation instance for vertex v and
-// one edge label: distinct successor entities on each side index the
+func newNBBuilder() *nbBuilder {
+	return &nbBuilder{
+		rowIdx: map[kb.EntityID]int{},
+		colIdx: map[kb.EntityID]int{},
+		seen:   map[int32]struct{}{},
+	}
+}
+
+// build assembles the propagation instance for vertex v and one edge
+// label group: distinct successor entities on each side index the
 // rows/columns, and each successor pair that is a graph vertex becomes a
-// candidate with its prior.
-func buildNeighborhood(k1, k2 *kb.KB, v pair.Pair, label ergraph.RelPair, edges []ergraph.Edge, params Params) *Neighborhood {
-	rowIdx := map[kb.EntityID]int{}
-	colIdx := map[kb.EntityID]int{}
-	nb := &Neighborhood{}
+// candidate with its prior. Candidates carry the dense vertex index from
+// the group's To slice, so recording needs no pair lookups.
+func (b *nbBuilder) build(k1, k2 *kb.KB, v pair.Pair, grp ergraph.LabelGroup, params Params) *Neighborhood {
+	clear(b.rowIdx)
+	clear(b.colIdx)
+	clear(b.seen)
+	rowIdx, colIdx := b.rowIdx, b.colIdx
+	nb := &b.nb
+	nb.Cands = nb.Cands[:0]
+	label := grp.Label
 	if label.Inverse {
 		nb.N1Size = len(k1.In(v.U1, label.R1))
 		nb.N2Size = len(k2.In(v.U2, label.R2))
@@ -131,12 +227,12 @@ func buildNeighborhood(k1, k2 *kb.KB, v pair.Pair, label ergraph.RelPair, edges 
 		est = consistency.Estimate{Eps1: 0.5, Eps2: 0.5}
 	}
 	nb.Eps1, nb.Eps2 = est.Eps1, est.Eps2
-	seen := map[pair.Pair]bool{}
-	for _, e := range edges {
-		if seen[e.To] {
+	for k, e := range grp.Edges {
+		j := grp.To[k]
+		if _, dup := b.seen[j]; dup {
 			continue
 		}
-		seen[e.To] = true
+		b.seen[j] = struct{}{}
 		r, ok := rowIdx[e.To.U1]
 		if !ok {
 			r = len(rowIdx)
@@ -151,13 +247,189 @@ func buildNeighborhood(k1, k2 *kb.KB, v pair.Pair, label ergraph.RelPair, edges 
 		if !ok {
 			prior = params.DefaultPrior
 		}
-		nb.Cands = append(nb.Cands, CandidatePair{Row: r, Col: c, Pair: e.To, Prior: prior})
+		nb.Cands = append(nb.Cands, CandidatePair{Row: r, Col: c, Pair: e.To, Prior: prior, Idx: j})
 	}
 	return nb
 }
 
 // Graph returns the underlying ER graph.
 func (pg *ProbGraph) Graph() *ergraph.Graph { return pg.g }
+
+// slot binary-searches row i for column j, returning the out-CSR position
+// or -1 when the row never had the edge.
+func (pg *ProbGraph) slot(i, j int) int32 {
+	lo, hi := pg.rowStart[i], pg.rowStart[i+1]
+	for lo < hi {
+		mid := lo + (hi-lo)/2 // overflow-safe for edge counts near int32 max
+		if pg.colIdx[mid] < int32(j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < pg.rowStart[i+1] && pg.colIdx[lo] == int32(j) {
+		return lo
+	}
+	return -1
+}
+
+// probAt returns Pr[m_j | m_i] by dense index, or 0 when the edge is
+// absent or was removed.
+func (pg *ProbGraph) probAt(i, j int) float64 {
+	if e := pg.slot(i, j); e >= 0 {
+		return pg.prob[e]
+	}
+	if pg.ovOut != nil {
+		return pg.ovOut[i][int32(j)]
+	}
+	return 0
+}
+
+// setProbAt writes Pr[m_j | m_i] by dense index: in place when the CSR has
+// the slot, through the overlay otherwise. p ≤ 0 removes the edge, p > 1
+// clamps to 1. Degree counters track live edges on both endpoints.
+func (pg *ProbGraph) setProbAt(i, j int, p float64) {
+	if p > 1 {
+		p = 1
+	}
+	if e := pg.slot(i, j); e >= 0 {
+		old := pg.prob[e]
+		if p <= 0 {
+			if old > 0 {
+				pg.prob[e] = 0
+				pg.length[e] = math.Inf(1)
+				pg.outDeg[i]--
+				pg.inDeg[j]--
+			}
+			return
+		}
+		if old <= 0 {
+			pg.outDeg[i]++
+			pg.inDeg[j]++
+		}
+		pg.prob[e] = p
+		pg.length[e] = -math.Log(p)
+		return
+	}
+	if p <= 0 {
+		if pg.ovOut == nil {
+			return
+		}
+		if _, ok := pg.ovOut[i][int32(j)]; ok {
+			delete(pg.ovOut[i], int32(j))
+			delete(pg.ovIn[j], int32(i))
+			pg.ovCount--
+			pg.outDeg[i]--
+			pg.inDeg[j]--
+		}
+		return
+	}
+	if pg.ovOut == nil {
+		n := pg.g.NumVertices()
+		pg.ovOut = make([]map[int32]float64, n)
+		pg.ovIn = make([]map[int32]struct{}, n)
+	}
+	if pg.ovOut[i] == nil {
+		pg.ovOut[i] = make(map[int32]float64, 2)
+	}
+	if _, ok := pg.ovOut[i][int32(j)]; !ok {
+		pg.ovCount++
+		pg.outDeg[i]++
+		pg.inDeg[j]++
+		if pg.ovIn[j] == nil {
+			pg.ovIn[j] = make(map[int32]struct{}, 2)
+		}
+		pg.ovIn[j][int32(i)] = struct{}{}
+	}
+	pg.ovOut[i][int32(j)] = p
+}
+
+// detachAt removes every live edge incident to vertex i — CSR slots are
+// zeroed in place through both mirrors, overlay edges are deleted.
+func (pg *ProbGraph) detachAt(i int) {
+	for e := pg.rowStart[i]; e < pg.rowStart[i+1]; e++ {
+		if pg.prob[e] > 0 {
+			pg.prob[e] = 0
+			pg.length[e] = math.Inf(1)
+			pg.outDeg[i]--
+			pg.inDeg[pg.colIdx[e]]--
+		}
+	}
+	for k := pg.inRowStart[i]; k < pg.inRowStart[i+1]; k++ {
+		e := pg.inPos[k]
+		if pg.prob[e] > 0 {
+			pg.prob[e] = 0
+			pg.length[e] = math.Inf(1)
+			pg.outDeg[pg.inSrc[k]]--
+			pg.inDeg[i]--
+		}
+	}
+	if pg.ovOut == nil {
+		return
+	}
+	for j := range pg.ovOut[i] {
+		delete(pg.ovIn[j], int32(i))
+		pg.ovCount--
+		pg.outDeg[i]--
+		pg.inDeg[j]--
+	}
+	clear(pg.ovOut[i])
+	for s := range pg.ovIn[i] {
+		delete(pg.ovOut[s], int32(i))
+		pg.ovCount--
+		pg.outDeg[s]--
+		pg.inDeg[i]--
+	}
+	clear(pg.ovIn[i])
+}
+
+// degreeAt returns the live out/in degree of vertex i (overlay included).
+func (pg *ProbGraph) degreeAt(i int) (out, in int32) {
+	return pg.outDeg[i], pg.inDeg[i]
+}
+
+// Fold merges the overlay back into a compacted CSR: removed slots are
+// dropped, overlay edges gain real slots, and the secondary arrays are
+// rebuilt. Re-estimation rebuilds call it so the steady-state hot path
+// always runs on a pure CSR with an empty overlay.
+func (pg *ProbGraph) Fold() {
+	if pg.ovCount == 0 {
+		pg.ovOut, pg.ovIn = nil, nil
+		return
+	}
+	n := pg.g.NumVertices()
+	newRowStart := make([]int32, n+1)
+	newColIdx := make([]int32, 0, len(pg.colIdx)+pg.ovCount)
+	newProb := make([]float64, 0, len(pg.colIdx)+pg.ovCount)
+	type entry struct {
+		j int32
+		p float64
+	}
+	var row []entry
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for e := pg.rowStart[i]; e < pg.rowStart[i+1]; e++ {
+			if pg.prob[e] > 0 {
+				row = append(row, entry{pg.colIdx[e], pg.prob[e]})
+			}
+		}
+		if pg.ovOut != nil {
+			for j, p := range pg.ovOut[i] {
+				row = append(row, entry{j, p})
+			}
+		}
+		// CSR and overlay are disjoint by the setProbAt invariant, so a
+		// plain sort (no dedupe) restores the ascending-column layout.
+		slices.SortFunc(row, func(a, b entry) int { return int(a.j) - int(b.j) })
+		for _, en := range row {
+			newColIdx = append(newColIdx, en.j)
+			newProb = append(newProb, en.p)
+		}
+		newRowStart[i+1] = int32(len(newColIdx))
+	}
+	pg.rowStart, pg.colIdx, pg.prob = newRowStart, newColIdx, newProb
+	pg.finish()
+}
 
 // Prob returns Pr[m_to | m_from], or 0 when no edge exists.
 func (pg *ProbGraph) Prob(from, to pair.Pair) float64 {
@@ -166,7 +438,7 @@ func (pg *ProbGraph) Prob(from, to pair.Pair) float64 {
 	if i < 0 || j < 0 {
 		return 0
 	}
-	return pg.out[i][j]
+	return pg.probAt(i, j)
 }
 
 // SetProb overrides an edge probability (used when re-estimating edges
@@ -177,25 +449,18 @@ func (pg *ProbGraph) SetProb(from, to pair.Pair, p float64) {
 	if i < 0 || j < 0 || i == j {
 		return
 	}
-	if p <= 0 {
-		delete(pg.out[i], j)
-		delete(pg.in[j], i)
-		return
-	}
-	if p > 1 {
-		p = 1
-	}
-	pg.out[i][j] = p
-	pg.in[j][i] = p
+	pg.setProbAt(i, j, p)
 }
 
 // NumEdges returns the number of positive-probability directed edges.
 func (pg *ProbGraph) NumEdges() int {
 	n := 0
-	for _, m := range pg.out {
-		n += len(m)
+	for _, p := range pg.prob {
+		if p > 0 {
+			n++
+		}
 	}
-	return n
+	return n + pg.ovCount
 }
 
 // Length returns −log Pr[m_to | m_from], the shortest-path edge length of

@@ -278,35 +278,32 @@ func TestInferAllMatchesDijkstra(t *testing.T) {
 			verts = append(verts, pair.Pair{U1: k1.AddEntity(string(rune('a' + i))), U2: k2.AddEntity(string(rune('a' + i)))})
 		}
 		g := ergraph.Build(k1, k2, verts)
-		pg := &ProbGraph{g: g, out: make([]map[int]float64, n), in: make([]map[int]float64, n)}
-		for i := range pg.out {
-			pg.out[i] = map[int]float64{}
-			pg.in[i] = map[int]float64{}
-		}
-		for i := 0; i < n; i++ {
+		adj := make([]map[int]float64, n)
+		for i := range adj {
+			adj[i] = map[int]float64{}
 			for j := 0; j < n; j++ {
 				if i != j && rng.Float64() < 0.3 {
-					pg.out[i][j] = 0.85 + 0.15*rng.Float64()
-					pg.in[j][i] = pg.out[i][j]
+					adj[i][j] = 0.85 + 0.15*rng.Float64()
 				}
 			}
 		}
+		pg := probGraphFromAdj(g, adj)
 		tau := 0.75
 		inf := pg.InferAllFW(tau)
 		infD := pg.InferAll(tau)
 		for q := 0; q < n; q++ {
 			want := pg.InferFrom(verts[q], tau)
-			if len(infD.SetIndexes(q)) != len(want) {
+			if len(infD.Ball(q)) != len(want) {
 				t.Fatalf("iter %d src %d: Dijkstra-all found %d, single-source %d",
-					iter, q, len(infD.SetIndexes(q)), len(want))
+					iter, q, len(infD.Ball(q)), len(want))
 			}
-			got := inf.SetIndexes(q)
+			got := inf.Ball(q)
 			if len(got) != len(want) {
 				t.Fatalf("iter %d src %d: FW found %d, Dijkstra %d", iter, q, len(got), len(want))
 			}
-			for j, d := range want {
-				if gd, ok := got[j]; !ok || math.Abs(gd-d) > 1e-9 {
-					t.Fatalf("iter %d src %d target %d: FW %v, Dijkstra %v", iter, q, j, got[j], d)
+			for k, w := range want {
+				if got[k].Idx != w.Idx || math.Abs(got[k].Dist-w.Dist) > 1e-9 {
+					t.Fatalf("iter %d src %d entry %d: FW %+v, Dijkstra %+v", iter, q, k, got[k], w)
 				}
 			}
 		}

@@ -1,0 +1,111 @@
+package propagation
+
+import "sync"
+
+// heapEntry is one pending Dijkstra relaxation: the tentative distance and
+// the vertex it reaches. Entries are plain values in a slice-backed 4-ary
+// heap, so pushes and pops never box through an interface.
+type heapEntry struct {
+	d float64
+	v int32
+}
+
+// scratch is the per-worker reusable state of a ζ-bounded single-source
+// run: dense distances validated by epoch stamps (no clearing between
+// runs), the 4-ary heap, and the list of vertices touched this run (the
+// emitted ball, pre-sort). A run performs zero map operations and zero
+// allocations beyond the returned Ball; the arrays amortize across every
+// source the worker processes.
+type scratch struct {
+	dist    []float64
+	stamp   []uint32
+	epoch   uint32
+	heap    []heapEntry
+	touched []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// getScratch returns a pooled scratch sized for n vertices.
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if len(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.stamp = make([]uint32, n)
+		sc.epoch = 0
+	}
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// begin opens a new run: bumping the epoch invalidates every stamp in
+// O(1). On the (once per 4 billion runs) wraparound the stamps are zeroed
+// so stale entries from the previous cycle cannot alias as valid.
+func (sc *scratch) begin() {
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.stamp)
+		sc.epoch = 1
+	}
+	sc.heap = sc.heap[:0]
+	sc.touched = sc.touched[:0]
+}
+
+// visited reports whether v was reached this run.
+func (sc *scratch) visited(v int32) bool { return sc.stamp[v] == sc.epoch }
+
+// reach records the first arrival at v with distance d.
+func (sc *scratch) reach(v int32, d float64) {
+	sc.stamp[v] = sc.epoch
+	sc.dist[v] = d
+	sc.touched = append(sc.touched, v)
+}
+
+// push inserts a heap entry, sifting up through the 4-ary layout.
+func (sc *scratch) push(e heapEntry) {
+	h := append(sc.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if h[p].d <= h[i].d {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	sc.heap = h
+}
+
+// pop removes and returns the minimum-distance entry.
+func (sc *scratch) pop() heapEntry {
+	h := sc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= len(h) {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for k := c + 1; k < end; k++ {
+			if h[k].d < h[m].d {
+				m = k
+			}
+		}
+		if h[i].d <= h[m].d {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	sc.heap = h
+	return top
+}

@@ -8,8 +8,8 @@
 package selection
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"repro/internal/pair"
 )
@@ -56,23 +56,76 @@ type Ranked interface {
 type Greedy struct{}
 
 // benefitState tracks bp(Q) = Pr[p ∈ inferred(H) | Q] per vertex (Eq. 15)
-// so that a marginal gain evaluation is O(|inferred(q)|).
+// so that a marginal gain evaluation is O(|inferred(q)|). bp is a dense
+// epoch-stamped slice keyed by vertex index — a stale stamp reads as
+// bp = 0 — so gain and add are pure array walks with no hashing, and the
+// pooled state is reused across selection calls without clearing.
 type benefitState struct {
-	bp map[int]float64
+	bp      []float64
+	stamp   []uint32
+	epoch   uint32
+	touched []int32 // vertices with a live bp entry, in first-touch order
+}
+
+var benefitPool = sync.Pool{New: func() any { return &benefitState{} }}
+
+// getBenefitState returns a pooled state valid for vertex indexes < n.
+func getBenefitState(n int) *benefitState {
+	s := benefitPool.Get().(*benefitState)
+	if len(s.bp) < n {
+		s.bp = make([]float64, n)
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+	return s
+}
+
+func putBenefitState(s *benefitState) { benefitPool.Put(s) }
+
+// maxVertexIndex sizes the dense state: candidates carry global vertex
+// indexes, so the bound is one past the largest index they mention.
+func maxVertexIndex(cands []Candidate) int {
+	n := 0
+	for _, c := range cands {
+		for _, p := range c.Inferred {
+			if p+1 > n {
+				n = p + 1
+			}
+		}
+	}
+	return n
+}
+
+func (s *benefitState) at(p int) float64 {
+	if s.stamp[p] == s.epoch {
+		return s.bp[p]
+	}
+	return 0
 }
 
 func (s *benefitState) gain(c Candidate) float64 {
 	g := 0.0
 	for _, p := range c.Inferred {
-		g += c.Prob * (1 - s.bp[p])
+		g += c.Prob * (1 - s.at(p))
 	}
 	return g
 }
 
 func (s *benefitState) add(c Candidate) {
 	for _, p := range c.Inferred {
+		b := s.at(p)
+		if s.stamp[p] != s.epoch {
+			s.stamp[p] = s.epoch
+			s.touched = append(s.touched, int32(p))
+		}
 		// bp(Q ∪ {q}) = bp(Q) + Pr[m_q](1 − bp(Q)).
-		s.bp[p] += c.Prob * (1 - s.bp[p])
+		s.bp[p] = b + c.Prob*(1-b)
 	}
 }
 
@@ -92,18 +145,19 @@ func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 	if mu <= 0 || len(cands) == 0 {
 		return nil
 	}
-	state := &benefitState{bp: make(map[int]float64)}
+	state := getBenefitState(maxVertexIndex(cands))
+	defer putBenefitState(state)
 	// Priority queue of (index, cached gain); lazy evaluation re-checks the
 	// top element against the current state before committing.
 	pq := make(gainHeap, 0, len(cands))
 	for i, c := range cands {
-		pq = append(pq, gainItem{idx: i, gain: state.gain(c)})
+		pq = append(pq, gainItem{idx: int32(i), gain: state.gain(c)})
 	}
-	heap.Init(&pq)
+	pq.init()
 
 	var out []Pick
-	for len(out) < mu && pq.Len() > 0 {
-		item := heap.Pop(&pq).(gainItem)
+	for len(out) < mu && len(pq) > 0 {
+		item := pq.popMin()
 		// Recompute the gain under the current Q (it can only shrink —
 		// submodularity).
 		fresh := state.gain(cands[item.idx])
@@ -112,13 +166,13 @@ func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 			// other candidates may still carry positive gain.
 			continue
 		}
-		if pq.Len() > 0 && fresh < pq[0].gain {
+		if len(pq) > 0 && fresh < pq[0].gain {
 			item.gain = fresh
-			heap.Push(&pq, item)
+			pq.push(item)
 			continue
 		}
 		state.add(cands[item.idx])
-		out = append(out, Pick{Index: item.idx, Score: fresh})
+		out = append(out, Pick{Index: int(item.idx), Score: fresh})
 	}
 	return out
 }
@@ -126,13 +180,14 @@ func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 // Benefit evaluates benefit(Q) for an explicit question set (Eq. 16).
 // chosen indexes into cands.
 func Benefit(cands []Candidate, chosen []int) float64 {
-	state := &benefitState{bp: make(map[int]float64)}
+	state := getBenefitState(maxVertexIndex(cands))
+	defer putBenefitState(state)
 	for _, i := range chosen {
 		state.add(cands[i])
 	}
 	total := 0.0
-	for _, b := range state.bp {
-		total += b
+	for _, p := range state.touched {
+		total += state.bp[p]
 	}
 	return total
 }
@@ -195,26 +250,69 @@ func topBy(cands []Candidate, mu int, score func(Candidate) float64) []int {
 	return idx[:mu]
 }
 
+// gainItem and gainHeap implement the lazy-greedy priority queue as a
+// plain slice-backed binary heap of value types: (gain desc, index asc) is
+// a total order, so the pop sequence is deterministic, and nothing boxes
+// through container/heap's interface.
 type gainItem struct {
-	idx  int
+	idx  int32
 	gain float64
 }
 
 type gainHeap []gainItem
 
-func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+// before reports whether a outranks b.
+func (gainHeap) before(a, b gainItem) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
 	}
-	return h[i].idx < h[j].idx
+	return a.idx < b.idx
 }
-func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
-func (h *gainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h gainHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *gainHeap) push(x gainItem) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.before(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *gainHeap) popMin() gainItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	(*h).siftDown(0)
+	return top
+}
+
+func (h gainHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h.before(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && h.before(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
