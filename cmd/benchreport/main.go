@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 )
 
 // Report is the BENCH_remp.json schema.
@@ -42,7 +43,10 @@ type Report struct {
 	Go          string                   `json:"go"`
 	Benchmarks  []Benchmark              `json:"benchmarks"`
 	Scalability *experiments.ShardReport `json:"scalability,omitempty"`
-	Datasets    []DatasetSize            `json:"datasets"`
+	// LoadTest is the remp-loadgen report (throughput against a live
+	// server plus the oracle-equivalence verdict), when one was run.
+	LoadTest *loadgen.Report `json:"load_test,omitempty"`
+	Datasets []DatasetSize   `json:"datasets"`
 }
 
 // Benchmark is one `go test -bench` result line. BytesPerOp/AllocsPerOp
@@ -81,6 +85,7 @@ var (
 func main() {
 	benchPath := flag.String("bench", "", "go test -bench output to parse (required)")
 	shardsPath := flag.String("shards", "", "shard-scalability JSON from remp-bench -experiment shards -json")
+	loadgenPath := flag.String("loadgen", "", "load-test JSON from remp-loadgen -json")
 	baselinePath := flag.String("baseline", "", "baseline BENCH json to gate against")
 	outPath := flag.String("out", "BENCH_remp.json", "output path")
 	maxRegression := flag.Float64("max-regression", 0.25, "maximum allowed relative slowdown vs baseline")
@@ -136,6 +141,18 @@ func main() {
 		report.Scalability = &shard
 	}
 
+	if *loadgenPath != "" {
+		data, err := os.ReadFile(*loadgenPath)
+		if err != nil {
+			fatalf("benchreport: %v", err)
+		}
+		var load loadgen.Report
+		if err := json.Unmarshal(data, &load); err != nil {
+			fatalf("benchreport: parsing %s: %v", *loadgenPath, err)
+		}
+		report.LoadTest = &load
+	}
+
 	for _, ds := range datasets.All(experiments.DefaultSeed) {
 		report.Datasets = append(report.Datasets, DatasetSize{
 			Name:        ds.Name,
@@ -156,6 +173,16 @@ func main() {
 	fmt.Printf("benchreport: wrote %s (%d benchmarks)\n", *outPath, len(report.Benchmarks))
 
 	failed := false
+	if lt := report.LoadTest; lt != nil {
+		if lt.Completed != lt.Sessions || !lt.ResultsMatch {
+			fmt.Printf("benchreport: FAIL load test: %d/%d sessions completed, oracle match %v\n",
+				lt.Completed, lt.Sessions, lt.ResultsMatch)
+			failed = true
+		} else {
+			fmt.Printf("benchreport: load test green: %d sessions, %.0f answers/s, %d retries\n",
+				lt.Sessions, lt.AnswersPerSec, lt.Retries)
+		}
+	}
 	if report.Scalability != nil {
 		for _, pt := range report.Scalability.Points {
 			if !pt.Equivalent {

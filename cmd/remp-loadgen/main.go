@@ -1,0 +1,98 @@
+// Command remp-loadgen drives a live remp-server with N concurrent
+// resolution sessions and verifies every session's final result
+// byte-matches the synchronous remp.Resolve oracle computed in process.
+// Worker labels are a deterministic function of each entity pair, so
+// the oracle comparison is exact no matter how the crowd's latency,
+// reordering, worker errors — or a server kill + restart mid-run —
+// interleave with delivery.
+//
+// Usage:
+//
+//	remp-server -addr :8080 -store disk -data-dir ./remp-data &
+//	remp-loadgen -addr http://127.0.0.1:8080 -sessions 50 -dataset books \
+//	    -worker-error 0.05 -reorder 0.5 -max-latency 5ms -json load.json
+//
+// The process exits 0 only when every session completed and matched
+// the oracle. The JSON report feeds cmd/benchreport -loadgen, which
+// records throughput in BENCH_remp.json and gates CI on divergence.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("remp-loadgen: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the remp-server to drive")
+	sessions := flag.Int("sessions", 10, "number of concurrent sessions")
+	dataset := flag.String("dataset", "books", "built-in dataset resolved by every session")
+	seed := flag.Int64("seed", 1, "dataset generator seed and label-determinism seed")
+	mu := flag.Int("mu", 0, "questions per human-machine loop (0 = pipeline default)")
+	shards := flag.Int("shards", 0, "shard count per session (0 = auto)")
+	workers := flag.Int("workers", 3, "simulated workers per question")
+	workerError := flag.Float64("worker-error", 0, "probability a worker's label is flipped (deterministic per pair and worker)")
+	reorder := flag.Float64("reorder", 0.5, "probability a batch is answered in random order")
+	minLatency := flag.Duration("min-latency", 0, "minimum simulated think time per answer")
+	maxLatency := flag.Duration("max-latency", 0, "maximum simulated think time per answer (0 = none)")
+	retryTimeout := flag.Duration("retry-timeout", 30*time.Second, "how long to retry an unreachable server (spans a kill + restart)")
+	deadline := flag.Duration("deadline", 10*time.Minute, "overall run deadline")
+	jsonOut := flag.String("json", "", "write the JSON report to this file")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	report, err := loadgen.Run(loadgen.Config{
+		BaseURL:      *addr,
+		Sessions:     *sessions,
+		Dataset:      *dataset,
+		DatasetSeed:  *seed,
+		Options:      server.OptionsDTO{Mu: *mu, Seed: *seed, Shards: *shards},
+		Workers:      *workers,
+		WorkerError:  *workerError,
+		Seed:         *seed,
+		MinLatency:   *minLatency,
+		MaxLatency:   *maxLatency,
+		Reorder:      *reorder,
+		RetryTimeout: *retryTimeout,
+		Deadline:     *deadline,
+		Logf:         logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loadgen: %d/%d sessions completed, %d answers (%.0f/s), %d rejected, %d retries, oracle match: %v\n",
+		report.Completed, report.Sessions, report.Answers, report.AnswersPerSec,
+		report.Rejected, report.Retries, report.ResultsMatch)
+	for _, o := range report.Outcomes {
+		if o.Error != "" {
+			log.Printf("session %s failed: %s", o.ID, o.Error)
+		} else if !o.Match {
+			log.Printf("session %s diverged from the oracle", o.ID)
+		}
+	}
+	if report.Completed != report.Sessions || !report.ResultsMatch {
+		os.Exit(1)
+	}
+}

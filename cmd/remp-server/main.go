@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	remp-server -addr :8080
+//	remp-server -addr :8080 -store disk -data-dir ./remp-data
+//
+// With -store disk every session is journaled to the data directory:
+// each accepted answer is fsync'd to a write-ahead log before the HTTP
+// response, and a restarted server (even after a hard kill) recovers
+// all sessions under their original IDs. -store mem keeps sessions in
+// memory only. SIGINT/SIGTERM shut the server down gracefully:
+// in-flight requests drain (new ones are refused with 503), every
+// session's snapshot is flushed and the store is closed.
 //
 // Create a session on a built-in dataset and answer its first question:
 //
@@ -19,10 +27,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/server"
+	"repro/internal/session"
 )
 
 func main() {
@@ -31,13 +47,68 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	shards := flag.Int("shards", 0, "default shard count for sessions that do not specify one (0 = auto, 1 = monolithic)")
+	storeKind := flag.String("store", "mem", "session store backend: mem (in-memory) or disk (crash-safe WAL + snapshots)")
+	dataDir := flag.String("data-dir", "remp-data", "session store directory (with -store disk)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
-		logf = nil
+		logf = func(string, ...any) {}
 	}
-	srv := server.New(logf)
-	srv.SetDefaultShards(*shards)
-	log.Fatal(srv.ListenAndServe(*addr))
+	var store session.Store
+	switch *storeKind {
+	case "mem":
+	case "disk":
+		ds, err := session.NewDiskStore(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = ds
+		log.Printf("disk store at %s", *dataDir)
+	default:
+		log.Fatalf("unknown -store %q (want mem or disk)", *storeKind)
+	}
+
+	srv, _, err := server.NewServer(server.Config{Logf: logf, Store: store, DefaultShards: *shards})
+	if err != nil {
+		// Recovery errors are non-fatal: the sessions that recovered are
+		// serving; the broken ones are reported and skipped.
+		log.Printf("recovery: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	}
+
+	// Drain the application first, over the live listener: the gate
+	// refuses new /v1 requests with 503 + Retry-After while the ones in
+	// flight finish, then every session's snapshot is flushed and the
+	// store closes. Only then is the HTTP server itself torn down —
+	// closing the listener first would turn the documented
+	// drain-then-refuse behavior into connection-refused.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	storeErr := srv.Shutdown(drainCtx)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if storeErr != nil {
+		log.Fatalf("store shutdown: %v", storeErr)
+	}
+	log.Printf("bye")
 }

@@ -77,6 +77,74 @@ func TestInferChanceWorkerCarriesNoSignal(t *testing.T) {
 	}
 }
 
+// TestInferPosteriorEdgeCases is the table-driven sweep over the Eq.
+// (17) corners: λ→1 workers in conflict, all-abstain answers, the
+// clamped priors, worse-than-chance workers, and the exact accept /
+// reject threshold boundaries that decide whether a question lands in
+// the hard-question band (whose priors core damps) or resolves.
+func TestInferPosteriorEdgeCases(t *testing.T) {
+	th := DefaultThresholds()
+	lbl := func(lam float64, match bool) Label {
+		return Label{Worker: Worker{Quality: lam}, IsMatch: match}
+	}
+	cases := []struct {
+		name   string
+		prior  float64
+		labels []Label
+		// wantPost < 0 skips the posterior check (verdict only).
+		wantPost float64
+		verdict  Verdict
+	}{
+		// Two λ→1 workers in conflict: both clamp to 0.999, their odds
+		// ratios cancel exactly and the posterior stays at the prior —
+		// a hard question, not a coin flip decided by float noise.
+		{"lambda-to-one-conflict", 0.5, []Label{lbl(1, true), lbl(1, false)}, 0.5, Unresolved},
+		{"lambda-above-one-conflict", 0.5, []Label{lbl(1.7, true), lbl(1, false)}, 0.5, Unresolved},
+		// Perfect workers alone are decisive even against a skeptical prior.
+		{"lambda-to-one-unanimous", 0.3, []Label{lbl(1, true), lbl(1, true)}, -1, IsMatch},
+		// All workers abstained (no labels): the posterior is exactly the
+		// prior, so the verdict is whatever band the prior already sits in.
+		{"all-abstain-neutral-prior", 0.5, nil, 0.5, Unresolved},
+		{"all-abstain-confident-prior", 0.9, nil, 0.9, IsMatch},
+		{"all-abstain-dismissive-prior", 0.1, nil, 0.1, IsNonMatch},
+		// Prior clamping: degenerate priors are pulled into (0,1) before
+		// the odds form, so empty evidence still yields a sane posterior.
+		{"prior-zero-clamped", 0, nil, 0.01, IsNonMatch},
+		{"prior-one-clamped", 1, nil, 0.99, IsMatch},
+		// A worker at or below chance is clamped to 0.51: almost no
+		// signal, the posterior barely moves off the prior.
+		{"chance-worker-clamped", 0.5, []Label{lbl(0.5, true)}, -1, Unresolved},
+		{"worse-than-chance-clamped", 0.5, []Label{lbl(0.2, false)}, -1, Unresolved},
+		// Accept boundary: one λ=0.8 match label at prior 0.5 gives
+		// post = 0.5/(0.5+0.5·0.25) = 0.8 exactly — on the boundary the
+		// question resolves (≥), it is not damped as hard.
+		{"accept-boundary-exact", 0.5, []Label{lbl(0.8, true)}, 0.8, IsMatch},
+		// Just inside the band: λ=0.79 keeps the posterior below 0.8, so
+		// the question stays hard.
+		{"accept-boundary-inside", 0.5, []Label{lbl(0.79, true)}, -1, Unresolved},
+		// Reject boundary, mirrored: one λ=0.8 non-match label gives
+		// post = 0.2 exactly — resolved non-match (≤).
+		{"reject-boundary-exact", 0.5, []Label{lbl(0.8, false)}, 0.2, IsNonMatch},
+		{"reject-boundary-inside", 0.5, []Label{lbl(0.79, false)}, -1, Unresolved},
+		// Majorities with equal λ reduce to the surplus label.
+		{"majority-two-vs-one", 0.5, []Label{lbl(0.8, true), lbl(0.8, true), lbl(0.8, false)}, 0.8, IsMatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inf := Infer(tc.prior, tc.labels, th)
+			if inf.Verdict != tc.verdict {
+				t.Errorf("verdict = %v, want %v (posterior %v)", inf.Verdict, tc.verdict, inf.Posterior)
+			}
+			if tc.wantPost >= 0 && math.Abs(inf.Posterior-tc.wantPost) > 1e-9 {
+				t.Errorf("posterior = %v, want %v", inf.Posterior, tc.wantPost)
+			}
+			if inf.Posterior < 0 || inf.Posterior > 1 || math.IsNaN(inf.Posterior) {
+				t.Errorf("posterior %v outside [0,1]", inf.Posterior)
+			}
+		})
+	}
+}
+
 func TestPlatformAccurateWorkers(t *testing.T) {
 	gold := pair.NewGold([]pair.Pair{{U1: 1, U2: 1}, {U1: 2, U2: 2}})
 	pl := NewPlatform(gold.IsMatch, Config{

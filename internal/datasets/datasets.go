@@ -31,12 +31,15 @@ type Dataset struct {
 	AttrGold []AttrRef
 }
 
-// Names lists the generator names accepted by ByName, in paper order.
-func Names() []string { return []string{"iimb", "d-a", "i-y", "d-y"} }
+// Names lists the generator names accepted by ByName, in paper order
+// plus the small "books" load-test dataset.
+func Names() []string { return []string{"iimb", "d-a", "i-y", "d-y", "books"} }
 
 // ByName builds the named dataset with the given seed.
 func ByName(name string, seed int64) (*Dataset, error) {
 	switch name {
+	case "books":
+		return Books(seed), nil
 	case "iimb", "IIMB":
 		return IIMB(seed), nil
 	case "d-a", "D-A", "dblp-acm":

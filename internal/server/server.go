@@ -16,21 +16,33 @@
 //	GET    /v1/sessions/{id}/snapshot durable session state
 //	POST   /v1/sessions/restore    recreate a session from a snapshot
 //	DELETE /v1/sessions/{id}       forget a session, releasing its questions
+//	GET    /healthz                liveness/readiness (503 while draining)
+//	GET    /debug/vars             expvar counters (remp_server map)
 //
 // Sessions created from the same dataset share a answer cache, so two
 // concurrent jobs over one dataset never post the same pair twice.
+//
+// A server opened over a disk store (Config.Store) journals every
+// session: each accepted answer is fsync'd to a WAL before the HTTP
+// response, and a server restarted over the same store recovers every
+// session under its original ID. Shutdown drains in-flight requests —
+// later requests are refused with 503 — and flushes all sessions so
+// recovery replays snapshots only.
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"log"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datasets"
 	"repro/internal/kb"
@@ -38,6 +50,11 @@ import (
 	"repro/internal/session"
 	"repro/remp"
 )
+
+// stats is the process-wide expvar counter map, exported as
+// "remp_server" under GET /debug/vars. Counters are cumulative across
+// all Server instances in the process.
+var stats = expvar.NewMap("remp_server")
 
 // OptionsDTO is the JSON form of remp.Options.
 type OptionsDTO struct {
@@ -55,7 +72,8 @@ type OptionsDTO struct {
 	Shards int `json:"shards,omitempty"`
 }
 
-func (o OptionsDTO) toOptions() remp.Options {
+// ToOptions maps the DTO onto remp.Options.
+func (o OptionsDTO) ToOptions() remp.Options {
 	return remp.Options{
 		K: o.K, Tau: o.Tau, Mu: o.Mu, LabelSimThreshold: o.LabelSimThreshold,
 		Budget: o.Budget, MaxLoops: o.MaxLoops, Strategy: o.Strategy,
@@ -67,13 +85,20 @@ func (o OptionsDTO) toOptions() remp.Options {
 // CreateRequest describes the dataset and options of a new session:
 // either a built-in dataset by name, or a pair of inline TSV KBs (the
 // cmd/datagen format) with an optional gold standard for evaluation.
+// ClientRef, when set, makes creation idempotent: a retried create with
+// the same ref returns the already-created session instead of a new one
+// — essential for clients that must retry a create whose response was
+// lost to a crash (the load generator). Refs survive restarts (they are
+// part of the persisted spec) but are best-effort under concurrent
+// same-ref creates, which clients are expected not to issue.
 type CreateRequest struct {
-	Dataset string      `json:"dataset,omitempty"`
-	Seed    int64       `json:"seed,omitempty"`
-	KB1TSV  string      `json:"kb1_tsv,omitempty"`
-	KB2TSV  string      `json:"kb2_tsv,omitempty"`
-	Gold    [][2]string `json:"gold,omitempty"`
-	Options OptionsDTO  `json:"options"`
+	Dataset   string      `json:"dataset,omitempty"`
+	Seed      int64       `json:"seed,omitempty"`
+	KB1TSV    string      `json:"kb1_tsv,omitempty"`
+	KB2TSV    string      `json:"kb2_tsv,omitempty"`
+	Gold      [][2]string `json:"gold,omitempty"`
+	ClientRef string      `json:"client_ref,omitempty"`
+	Options   OptionsDTO  `json:"options"`
 }
 
 // QuestionDTO is one published question, with entity names for display.
@@ -166,23 +191,130 @@ type Server struct {
 	mgr           *remp.Manager
 	mu            sync.Mutex
 	meta          map[string]*sessionMeta
+	refs          map[string]string // CreateRequest.ClientRef → session ID
 	logf          func(format string, args ...any)
 	defaultShards int
+	storeKind     string
+	draining      atomic.Bool
+	// drainMu is the in-flight barrier: every gated request holds a read
+	// lock for its whole lifetime; Shutdown takes the write lock once
+	// draining is set, which blocks until the in-flight requests finish.
+	// (A WaitGroup is off the table: Add racing Wait at counter zero is
+	// documented misuse and panics.)
+	drainMu sync.RWMutex
 }
 
-// New returns a server with an empty session manager. logf receives one
-// line per request outcome; nil disables logging.
+// Config configures a Server.
+type Config struct {
+	// Logf receives one line per request outcome; nil disables logging.
+	Logf func(format string, args ...any)
+	// Store is the session store the server journals into and recovers
+	// from; nil selects the in-memory store (no durability).
+	Store session.Store
+	// DefaultShards is the shard count applied to sessions whose create
+	// request does not specify one (0 keeps automatic sharding).
+	DefaultShards int
+}
+
+// New returns a server over an in-memory store. logf receives one line
+// per request outcome; nil disables logging.
 func New(logf func(format string, args ...any)) *Server {
+	srv, _, err := NewServer(Config{Logf: logf})
+	if err != nil {
+		panic(err) // unreachable: an empty in-memory store cannot fail recovery
+	}
+	return srv
+}
+
+// NewServer opens a server over cfg.Store and recovers every session a
+// previous process left in it, returning the recovered session IDs. A
+// session that fails to recover is skipped and reported in the error
+// while the server comes up with the rest.
+func NewServer(cfg Config) (*Server, []string, error) {
+	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{mgr: remp.NewManager(), meta: make(map[string]*sessionMeta), logf: logf}
+	store := cfg.Store
+	kind := "disk"
+	if store == nil {
+		store = session.NewMemStore()
+	}
+	if _, ok := store.(*session.MemStore); ok {
+		kind = "mem"
+	}
+	s := &Server{
+		meta:          make(map[string]*sessionMeta),
+		refs:          make(map[string]string),
+		logf:          logf,
+		defaultShards: cfg.DefaultShards,
+		storeKind:     kind,
+	}
+	// Recovery re-prepares each stored session's pipeline from the
+	// CreateRequest persisted as its meta blob; the specs seen along the
+	// way rebuild the server-side metadata map.
+	recoveredMeta := make(map[string]*sessionMeta)
+	mgr, recovered, err := remp.OpenManager(store, func(id string, meta []byte) (remp.Dataset, remp.Options, string, error) {
+		var req CreateRequest
+		if jerr := json.Unmarshal(meta, &req); jerr != nil {
+			return remp.Dataset{}, remp.Options{}, "", fmt.Errorf("stored spec: %w", jerr)
+		}
+		ds, gold, namespace, lerr := loadSpec(req)
+		if lerr != nil {
+			return remp.Dataset{}, remp.Options{}, "", lerr
+		}
+		recoveredMeta[id] = &sessionMeta{spec: req, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
+		return ds, req.Options.ToOptions(), namespace, nil
+	})
+	s.mgr = mgr
+	for _, id := range recovered {
+		if m := recoveredMeta[id]; m != nil {
+			s.meta[id] = m
+			if m.spec.ClientRef != "" {
+				s.refs[m.spec.ClientRef] = id
+			}
+		}
+		stats.Add("sessions_recovered", 1)
+	}
+	if len(recovered) > 0 {
+		logf("recovered %d sessions from the %s store: %s", len(recovered), kind, strings.Join(recovered, ", "))
+	}
+	if err != nil {
+		logf("recovery errors: %v", err)
+	}
+	return s, recovered, err
 }
 
 // SetDefaultShards sets the shard count applied to sessions whose create
 // request does not specify one (the cmd/remp-server -shards flag). 0
 // keeps automatic sharding.
 func (s *Server) SetDefaultShards(n int) { s.defaultShards = n }
+
+// Shutdown drains the server: in-flight requests finish (bounded by
+// ctx), later requests are refused with 503, every session's durable
+// snapshot is flushed to its current state and the store is closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		// The write lock is a pure barrier: it is granted only once every
+		// request that entered before the drain flag flipped has finished.
+		s.drainMu.Lock()
+		s.drainMu.Unlock() //nolint:staticcheck // empty critical section is the point
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.logf("shutdown: giving up on in-flight requests: %v", ctx.Err())
+	}
+	err := s.mgr.Close()
+	s.logf("shutdown: store flushed and closed")
+	return err
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // applyDefaults folds server-wide defaults into a request's options.
 func (s *Server) applyDefaults(o OptionsDTO) OptionsDTO {
@@ -192,7 +324,10 @@ func (s *Server) applyDefaults(o OptionsDTO) OptionsDTO {
 	return o
 }
 
-// Handler returns the HTTP handler for all /v1 endpoints.
+// Handler returns the HTTP handler for all endpoints. /v1 routes are
+// gated on the drain flag: once Shutdown begins they answer 503 with a
+// Retry-After header while requests already in flight run to
+// completion.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -204,7 +339,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
-	return mux
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", s.gate(mux))
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.Handle("GET /debug/vars", expvar.Handler())
+	return root
+}
+
+// gate refuses gated requests once the server is draining and tracks
+// in-flight ones so Shutdown can wait for them.
+func (s *Server) gate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Fast path first, without touching the mutex: once draining is
+		// set, Shutdown's pending write lock would make RLock block new
+		// requests behind the slowest in-flight one instead of refusing
+		// them promptly.
+		if s.draining.Load() {
+			refuseDraining(w)
+			return
+		}
+		// Register (read lock), then re-check: a request that slipped
+		// past a concurrent Shutdown either sees the flag here and is
+		// refused, or finishes before the barrier falls and the store
+		// closes.
+		s.drainMu.RLock()
+		defer s.drainMu.RUnlock()
+		if s.draining.Load() {
+			refuseDraining(w)
+			return
+		}
+		stats.Add("requests", 1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+func refuseDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while
+// draining. persist_failures counts store operations that have failed
+// since startup — non-zero means some session's durable state is stale.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":           status,
+		"store":            s.storeKind,
+		"sessions":         len(s.mgr.SessionIDs()),
+		"persist_failures": s.mgr.PersistFailures(),
+	})
 }
 
 // ListenAndServe runs the server on addr until the listener fails.
@@ -271,19 +459,51 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
 		return
 	}
+	// An idempotent retry: hand back the session the ref already created.
+	if req.ClientRef != "" {
+		s.mu.Lock()
+		id, ok := s.refs[req.ClientRef]
+		s.mu.Unlock()
+		if ok {
+			if sess, live := s.mgr.Get(id); live {
+				s.logf("create with known client_ref %q: returning session %s", req.ClientRef, id)
+				writeJSON(w, http.StatusOK, s.info(sess, true))
+				return
+			}
+		}
+	}
 	ds, gold, namespace, err := loadSpec(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.mgr.NewSession(ds, s.applyDefaults(req.Options).toOptions(), namespace)
+	// Bake the server-side defaults into the stored spec so a restart
+	// with different flags recovers the session under the options it
+	// actually ran with.
+	req.Options = s.applyDefaults(req.Options)
+	meta, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sess, err := s.mgr.NewSession(ds, req.Options.ToOptions(), namespace, meta)
+	if err != nil {
+		// A persistence failure is the server's fault (full disk, bad
+		// data dir), not the client's.
+		status := http.StatusBadRequest
+		if errors.Is(err, session.ErrPersist) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
 	s.mu.Lock()
 	s.meta[sess.ID()] = &sessionMeta{spec: req, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
+	if req.ClientRef != "" {
+		s.refs[req.ClientRef] = sess.ID()
+	}
 	s.mu.Unlock()
+	stats.Add("sessions_created", 1)
 	s.logf("created session %s (namespace %s)", sess.ID(), namespace)
 	writeJSON(w, http.StatusCreated, s.info(sess, true))
 }
@@ -299,20 +519,34 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.mgr.RestoreSession(ds, s.applyDefaults(dto.Create.Options).toOptions(), namespace, dto.Session)
+	dto.Create.Options = s.applyDefaults(dto.Create.Options)
+	meta, err := json.Marshal(dto.Create)
 	if err != nil {
-		// Only an ID collision is a genuine conflict; malformed or
-		// diverging snapshots are client errors.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess, err := s.mgr.RestoreSession(ds, dto.Create.Options.ToOptions(), namespace, dto.Session, meta)
+	if err != nil {
+		// An ID collision is a genuine conflict and a persistence
+		// failure is the server's fault; malformed or diverging
+		// snapshots are client errors.
 		status := http.StatusBadRequest
-		if errors.Is(err, session.ErrSessionExists) {
+		switch {
+		case errors.Is(err, session.ErrSessionExists):
 			status = http.StatusConflict
+		case errors.Is(err, session.ErrPersist):
+			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "%v", err)
 		return
 	}
 	s.mu.Lock()
 	s.meta[sess.ID()] = &sessionMeta{spec: dto.Create, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
+	if dto.Create.ClientRef != "" {
+		s.refs[dto.Create.ClientRef] = sess.ID()
+	}
 	s.mu.Unlock()
+	stats.Add("sessions_restored", 1)
 	s.logf("restored session %s (namespace %s)", sess.ID(), namespace)
 	writeJSON(w, http.StatusCreated, s.info(sess, true))
 }
@@ -382,6 +616,8 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Accepted++
 	}
+	stats.Add("answers_accepted", int64(resp.Accepted))
+	stats.Add("answers_rejected", int64(len(resp.Rejected)))
 	s.logf("session %s: %d answers accepted, %d rejected", sess.ID(), resp.Accepted, len(resp.Rejected))
 	resp.SessionInfo = s.info(sess, true)
 	writeJSON(w, http.StatusOK, resp)
@@ -427,15 +663,28 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	sess, _, ok := s.lookup(w, r)
-	if !ok {
+	// No liveness lookup first: Remove also purges dormant store records
+	// (sessions whose recovery failed), which have no live session.
+	id := r.PathValue("id")
+	removed, err := s.mgr.Remove(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.mgr.Remove(sess.ID())
+	if !removed {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
 	s.mu.Lock()
-	delete(s.meta, sess.ID())
+	delete(s.meta, id)
+	for ref, sid := range s.refs {
+		if sid == id {
+			delete(s.refs, ref)
+		}
+	}
 	s.mu.Unlock()
-	s.logf("deleted session %s", sess.ID())
+	stats.Add("sessions_deleted", 1)
+	s.logf("deleted session %s", id)
 	w.WriteHeader(http.StatusNoContent)
 }
 

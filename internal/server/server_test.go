@@ -1,10 +1,14 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/kb"
 	"repro/internal/pair"
@@ -107,7 +111,7 @@ func driveReversed(t *testing.T, c *Client, gold *remp.Gold, info *SessionInfo) 
 // loop count.
 func TestHTTPSessionMatchesResolve(t *testing.T) {
 	ds, gold, req := fixture(t, 5)
-	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.toOptions())
+	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.ToOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +164,7 @@ func TestHTTPSessionMatchesResolve(t *testing.T) {
 // story over the wire.
 func TestHTTPSnapshotRestore(t *testing.T) {
 	ds, gold, req := fixture(t, 5)
-	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.toOptions())
+	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.ToOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,5 +355,292 @@ func TestQuestionIDRoundTrip(t *testing.T) {
 	back, err := session.ParseQuestionID(id)
 	if err != nil || back != q {
 		t.Fatalf("ParseQuestionID(%q) = %v, %v", id, back, err)
+	}
+}
+
+// TestServerDrainThenRefuse pins the graceful-shutdown semantics: a
+// request in flight when Shutdown begins completes, requests arriving
+// afterwards are refused with 503, /healthz flips to draining, and the
+// flushed store recovers every session in a successor server.
+func TestServerDrainThenRefuse(t *testing.T) {
+	dir := t.TempDir()
+	store, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, recovered, err := NewServer(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh store recovered %v", recovered)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	_, gold, req := fixture(t, 4)
+	info, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Batch) == 0 {
+		t.Fatal("no opening batch")
+	}
+
+	// Healthy before the drain.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Store    string `json:"store"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Store != "disk" || health.Sessions != 1 {
+		t.Fatalf("healthz before drain: HTTP %d %+v", resp.StatusCode, health)
+	}
+
+	// A request that enters before Shutdown must complete: block one in
+	// the answers handler by starting it just before draining, using a
+	// slow body so ServeHTTP is already past the gate when drain flips.
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := c.PostAnswers(info.ID, []AnswerDTO{oracleAnswer(t, gold, info.Batch[0].ID)})
+		finished <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-finished; err != nil && !strings.Contains(err.Error(), "503") {
+		// The in-flight answer either completed or was refused cleanly at
+		// the gate, depending on who won the race; both are drain-correct.
+		t.Fatalf("in-flight request failed hard: %v", err)
+	}
+
+	// After the drain every /v1 request is refused with 503...
+	if _, err := c.Batch(info.ID); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("gated endpoint after drain: %v, want 503", err)
+	}
+	if _, err := c.CreateSession(req); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("create after drain: %v, want 503", err)
+	}
+	// ...and /healthz reports draining.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	// The flushed store brings the session back in a successor process.
+	store2, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, recovered, err := NewServer(Config{Store: store2})
+	if err != nil {
+		t.Fatalf("successor recovery: %v", err)
+	}
+	if len(recovered) != 1 || recovered[0] != info.ID {
+		t.Fatalf("successor recovered %v, want [%s]", recovered, info.ID)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	c2 := NewClient(ts2.URL)
+	got, err := c2.Batch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := driveReversed(t, c2, gold, got)
+	res, err := c2.Result(final.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || len(res.Matches) == 0 {
+		t.Fatalf("recovered session finished with %+v", res)
+	}
+}
+
+// TestServerRecoversAcrossRestart proves the disk-store server resumes
+// sessions mid-run with results identical to an uninterrupted HTTP run,
+// including a session created from inline TSV KBs (whose spec must
+// round-trip through the stored meta blob).
+func TestServerRecoversAcrossRestart(t *testing.T) {
+	ds, gold, req := fixture(t, 5)
+	want, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), req.Options.ToOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := NewServer(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c := NewClient(ts.URL)
+	info, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer only the opening batch, then abandon the process without
+	// any flush: the WAL alone must carry these answers.
+	for _, q := range info.Batch {
+		if _, err := c.PostAnswers(info.ID, []AnswerDTO{oracleAnswer(t, gold, q.ID)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.Close()
+
+	store2, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, recovered, err := NewServer(Config{Store: store2})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if len(recovered) != 1 || recovered[0] != info.ID {
+		t.Fatalf("recovered %v, want [%s]", recovered, info.ID)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	c2 := NewClient(ts2.URL)
+
+	got, err := c2.Batch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := driveReversed(t, c2, gold, got)
+	res, err := c2.Result(final.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Questions != want.Questions || res.Loops != want.Loops || len(res.Matches) != len(want.Matches) {
+		t.Fatalf("recovered run diverged: got %d matches / %d questions / %d loops, want %d / %d / %d",
+			len(res.Matches), res.Questions, res.Loops, len(want.Matches), want.Questions, want.Loops)
+	}
+}
+
+// TestCreateIdempotentByClientRef pins the create-retry contract: the
+// same client_ref returns the same session (even across a restart),
+// and deleting the session frees the ref.
+func TestCreateIdempotentByClientRef(t *testing.T) {
+	dir := t.TempDir()
+	store, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := NewServer(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c := NewClient(ts.URL)
+
+	_, _, req := fixture(t, 4)
+	req.ClientRef = "job-7"
+	first, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried, err := c.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried.ID != first.ID {
+		t.Fatalf("retried create spawned %s, want the original %s", retried.ID, first.ID)
+	}
+	if ids, _ := c.Sessions(); len(ids) != 1 {
+		t.Fatalf("retry left %v sessions, want 1", ids)
+	}
+	ts.Close()
+
+	// The ref survives a restart (it lives in the persisted spec).
+	store2, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, _, err := NewServer(Config{Store: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	c2 := NewClient(ts2.URL)
+	recoveredRetry, err := c2.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recoveredRetry.ID != first.ID {
+		t.Fatalf("post-restart retry spawned %s, want %s", recoveredRetry.ID, first.ID)
+	}
+	// Delete, then re-create under the same ref: a genuinely new live
+	// session must come back (a stale ref can never serve a dead one —
+	// handleCreate checks liveness), and exactly one session exists.
+	if err := c2.Delete(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c2.CreateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, live := srv2.mgr.Get(fresh.ID); !live {
+		t.Fatalf("create after delete returned non-live session %s", fresh.ID)
+	}
+	if ids, _ := c2.Sessions(); len(ids) != 1 {
+		t.Fatalf("after delete + re-create: %v sessions, want exactly 1", ids)
+	}
+}
+
+// TestDeletePurgesDormantStoreRecord proves DELETE reaches sessions
+// that exist only in the store — e.g. ones skipped at recovery — so a
+// broken record cannot haunt every restart forever.
+func TestDeletePurgesDormantStoreRecord(t *testing.T) {
+	dir := t.TempDir()
+	store, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record with an unparsable spec: recovery will skip it.
+	if err := store.Create("zombie", []byte("not json"), []byte(`{"version":1,"id":"zombie"}`)); err != nil {
+		t.Fatal(err)
+	}
+	srv, recovered, err := NewServer(Config{Store: store})
+	if err == nil {
+		t.Fatal("recovery of an unparsable spec reported no error")
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %v", recovered)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	if err := c.Delete("zombie"); err != nil {
+		t.Fatalf("deleting the dormant record: %v", err)
+	}
+	if err := c.Delete("zombie"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("second delete: %v, want 404", err)
+	}
+	if ids, _ := store.List(); len(ids) != 0 {
+		t.Fatalf("store still holds %v", ids)
 	}
 }

@@ -1,0 +1,497 @@
+package session
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DiskStore is the crash-safe Store: one directory per session holding
+// the pipeline meta, the current snapshot and a set of fsync'd WAL
+// segments.
+//
+// Layout under the root directory:
+//
+//	sessions/<id>/meta           opaque pipeline spec, written once
+//	sessions/<id>/snapshot.json  current snapshot (atomic rotation)
+//	sessions/<id>/wal-NNNNNNNN.log  append-only answer log segments
+//
+// Every answer append is one JSON line written and fsync'd before the
+// delivery is acknowledged, so an acknowledged answer survives a hard
+// process kill. Snapshot rotation writes the new snapshot to a
+// temporary file, fsyncs it, renames it over snapshot.json, fsyncs the
+// directory, then starts a fresh WAL segment and deletes the older
+// segments. A crash between any two of those steps leaves either the
+// old snapshot with a complete WAL or the new snapshot with a stale WAL
+// whose records are all covered by the snapshot — recovery skips them
+// by sequence number. A torn final WAL line (the kill landed mid-write,
+// before the fsync, so the answer was never acknowledged) is dropped;
+// a malformed line anywhere earlier is reported as corruption.
+//
+// Session IDs that are not filesystem-safe are hex-encoded with an "@"
+// prefix, so arbitrary snapshot IDs cannot escape the root directory.
+//
+// The store's own mutex guards only the writer map and the closed flag:
+// file writes and fsyncs run outside it. Per-ID call serialization is
+// the caller's contract (the owning session's lock), so sessions fsync
+// their WALs in parallel instead of queueing every answer in the
+// process behind one global lock.
+type DiskStore struct {
+	root string
+
+	mu     sync.Mutex
+	wals   map[string]*walWriter
+	closed bool
+
+	// failpoint, when set (tests only), runs before every physical write
+	// boundary; a returned error aborts the operation as a crash would.
+	// errTornWrite on "append.write" writes half the record first,
+	// simulating a torn line.
+	failpoint func(op string) error
+}
+
+// walWriter is the open current WAL segment of one session.
+type walWriter struct {
+	f   *os.File
+	seg int
+}
+
+// errTornWrite makes the append failpoint write half a record before
+// failing, so recovery sees a torn final line.
+var errTornWrite = errors.New("session: failpoint torn write")
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("session: disk store needs a data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sessions"), 0o755); err != nil {
+		return nil, fmt.Errorf("session: disk store: %w", err)
+	}
+	return &DiskStore{root: dir, wals: make(map[string]*walWriter)}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.root }
+
+// fail invokes the failpoint hook for one write boundary.
+func (d *DiskStore) fail(op string) error {
+	if d.failpoint == nil {
+		return nil
+	}
+	return d.failpoint(op)
+}
+
+// encodeID maps a session ID to a safe directory name, reversibly.
+func encodeID(id string) string {
+	safe := id != "" && id[0] != '@' && id != "." && id != ".."
+	for i := 0; safe && i < len(id); i++ {
+		c := id[i]
+		safe = c == '-' || c == '_' || c == '.' ||
+			('0' <= c && c <= '9') || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+	}
+	if safe {
+		return id
+	}
+	return "@" + hex.EncodeToString([]byte(id))
+}
+
+// decodeID inverts encodeID.
+func decodeID(name string) (string, error) {
+	if !strings.HasPrefix(name, "@") {
+		return name, nil
+	}
+	raw, err := hex.DecodeString(name[1:])
+	if err != nil {
+		return "", fmt.Errorf("session: undecodable session directory %q", name)
+	}
+	return string(raw), nil
+}
+
+func (d *DiskStore) sessionDir(id string) string {
+	return filepath.Join(d.root, "sessions", encodeID(id))
+}
+
+func walName(seg int) string { return fmt.Sprintf("wal-%08d.log", seg) }
+
+// parseWalName extracts the segment number, or -1 for other files.
+func parseWalName(name string) int {
+	var seg int
+	if n, err := fmt.Sscanf(name, "wal-%08d.log", &seg); n == 1 && err == nil && strings.HasSuffix(name, ".log") {
+		return seg
+	}
+	return -1
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it are
+// durable.
+func (d *DiskStore) syncDir(dir string) error {
+	if err := d.fail("dir.sync"); err != nil {
+		return err
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// writeFileAtomic writes data to path via tmp + fsync + rename + dir
+// fsync. op prefixes the failpoint boundaries.
+func (d *DiskStore) writeFileAtomic(op, path string, data []byte) error {
+	if err := d.fail(op + ".write"); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := d.fail(op + ".sync"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := d.fail(op + ".rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return d.syncDir(filepath.Dir(path))
+}
+
+// checkOpen fails fast once the store is closed. An operation that
+// races a concurrent Close past this check fails on its closed file
+// handles instead — never silently, never corrupting.
+func (d *DiskStore) checkOpen() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrStoreClosed
+	}
+	return nil
+}
+
+// Create implements Store.
+func (d *DiskStore) Create(id string, meta, snapshot []byte) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	dir := d.sessionDir(id)
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err == nil {
+		return fmt.Errorf("%w: %q", ErrStoreExists, id)
+	}
+	if err := d.fail("create.mkdir"); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := d.writeFileAtomic("create.meta", filepath.Join(dir, "meta"), meta); err != nil {
+		return err
+	}
+	// The snapshot is written last: a directory without snapshot.json is
+	// an aborted Create and is skipped by List.
+	if err := d.writeFileAtomic("create.snapshot", filepath.Join(dir, "snapshot.json"), snapshot); err != nil {
+		return err
+	}
+	return d.openSegment(id, 1)
+}
+
+// openSegment creates WAL segment seg and registers it as the session's
+// current writer, replacing (and closing) any previous one. The file
+// work runs unlocked; only the map swap takes the store mutex.
+func (d *DiskStore) openSegment(id string, seg int) error {
+	if err := d.fail("wal.create"); err != nil {
+		return err
+	}
+	dir := d.sessionDir(id)
+	f, err := os.OpenFile(filepath.Join(dir, walName(seg)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := d.syncDir(dir); err != nil {
+		f.Close()
+		return err
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		f.Close()
+		return ErrStoreClosed
+	}
+	if w := d.wals[id]; w != nil {
+		w.f.Close()
+	}
+	d.wals[id] = &walWriter{f: f, seg: seg}
+	d.mu.Unlock()
+	return nil
+}
+
+// wal returns the session's current WAL writer, reopening the highest
+// existing segment after a restart.
+func (d *DiskStore) wal(id string) (*walWriter, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	if w := d.wals[id]; w != nil {
+		d.mu.Unlock()
+		return w, nil
+	}
+	d.mu.Unlock()
+	segs, err := d.segments(id)
+	if err != nil {
+		return nil, err
+	}
+	seg := 1
+	if len(segs) > 0 {
+		seg = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(d.sessionDir(id), walName(seg)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &walWriter{f: f, seg: seg}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		f.Close()
+		return nil, ErrStoreClosed
+	}
+	if cur := d.wals[id]; cur != nil {
+		// Raced another open for the same ID (callers serialize per ID,
+		// so this is belt-and-braces): keep the registered writer.
+		f.Close()
+		return cur, nil
+	}
+	d.wals[id] = w
+	return w, nil
+}
+
+// segments lists the session's WAL segment numbers in ascending order.
+func (d *DiskStore) segments(id string) ([]int, error) {
+	entries, err := os.ReadDir(d.sessionDir(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrStoreNotFound, id)
+		}
+		return nil, err
+	}
+	var segs []int
+	for _, e := range entries {
+		if seg := parseWalName(e.Name()); seg > 0 {
+			segs = append(segs, seg)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// AppendAnswer implements Store. The record is written as one JSON line
+// and fsync'd before returning. No store-wide lock is held across the
+// write: concurrent sessions append in parallel.
+func (d *DiskStore) AppendAnswer(id string, seq int, rec AnswerRec) error {
+	w, err := d.wal(id)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(WALRec{Seq: seq, Answer: rec})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if err := d.fail("append.write"); err != nil {
+		if errors.Is(err, errTornWrite) {
+			w.f.Write(line[:len(line)/2]) //nolint:errcheck // simulating a torn write
+		}
+		return err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return err
+	}
+	if err := d.fail("append.sync"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// PutSnapshot implements Store: atomic snapshot rotation followed by a
+// fresh WAL segment; older segments are deleted last, so a crash at any
+// boundary leaves a recoverable (snapshot, WAL) pair.
+func (d *DiskStore) PutSnapshot(id string, snapshot []byte) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	dir := d.sessionDir(id)
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		return fmt.Errorf("%w: %q", ErrStoreNotFound, id)
+	}
+	if err := d.writeFileAtomic("rotate.snapshot", filepath.Join(dir, "snapshot.json"), snapshot); err != nil {
+		return err
+	}
+	w, err := d.wal(id)
+	if err != nil {
+		return err
+	}
+	prev := w.seg
+	if err := d.openSegment(id, prev+1); err != nil {
+		return err
+	}
+	if err := d.fail("rotate.wal.delete"); err != nil {
+		return err
+	}
+	segs, err := d.segments(id)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg <= prev {
+			if err := os.Remove(filepath.Join(dir, walName(seg))); err != nil {
+				return err
+			}
+		}
+	}
+	return d.syncDir(dir)
+}
+
+// Get implements Store, reading the record back from disk.
+func (d *DiskStore) Get(id string) (*Record, error) {
+	if err := d.checkOpen(); err != nil {
+		return nil, err
+	}
+	dir := d.sessionDir(id)
+	snapshot, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrStoreNotFound, id)
+		}
+		return nil, err
+	}
+	meta, err := os.ReadFile(filepath.Join(dir, "meta"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	rec := &Record{Meta: meta, Snapshot: snapshot}
+	segs, err := d.segments(id)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		recs, err := readWalSegment(filepath.Join(dir, walName(seg)), i == len(segs)-1)
+		if err != nil {
+			return nil, fmt.Errorf("session: %q %s: %w", id, walName(seg), err)
+		}
+		rec.WAL = append(rec.WAL, recs...)
+	}
+	return rec, nil
+}
+
+// readWalSegment parses one WAL segment. A torn final line is dropped
+// only in the last segment (the only one that can have been mid-append
+// at the kill); anything else malformed is corruption.
+func readWalSegment(path string, last bool) ([]WALRec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []WALRec
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var rec WALRec
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if last && i == len(lines)-1 {
+				return out, nil // torn final line: the append was never acknowledged
+			}
+			return nil, fmt.Errorf("corrupt WAL line %d: %w", i+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// List implements Store. Directories without a snapshot (aborted
+// Creates) are skipped.
+func (d *DiskStore) List() ([]string, error) {
+	if err := d.checkOpen(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(d.root, "sessions"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(d.root, "sessions", e.Name(), "snapshot.json")); err != nil {
+			continue
+		}
+		id, err := decodeID(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (d *DiskStore) Delete(id string) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrStoreClosed
+	}
+	if w := d.wals[id]; w != nil {
+		w.f.Close()
+		delete(d.wals, id)
+	}
+	d.mu.Unlock()
+	if err := os.RemoveAll(d.sessionDir(id)); err != nil {
+		return err
+	}
+	return d.syncDir(filepath.Join(d.root, "sessions"))
+}
+
+// Close implements Store, closing every open WAL segment.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var firstErr error
+	for id, w := range d.wals {
+		if err := w.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(d.wals, id)
+	}
+	return firstErr
+}

@@ -1,0 +1,126 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+// FuzzRestoreSession fuzzes the durable inputs a restore consumes: the
+// snapshot JSON and an answer log (the WAL's record array). Whatever
+// the bytes, Restore must never panic; and any snapshot it accepts must
+// round-trip — the restored session's re-snapshot is canonical, so
+// restoring *that* must succeed and re-snapshot to identical bytes.
+// The corpus is seeded with real snapshots of the example fixture (the
+// quickstart/asynccrowd books world) taken mid-run with a buffered
+// out-of-order answer, at completion, and fresh.
+func FuzzRestoreSession(f *testing.F) {
+	k1, k2, gold := bookWorld(3, 51)
+	prep := func() *core.Prepared { return core.Prepare(k1, k2, testConfig(nil)) }
+
+	// Real mid-run snapshot: first batch applied, plus the last question
+	// of the second batch delivered out of order (pending).
+	s := New("seed-mid", prep(), nil)
+	for _, q := range s.NextBatch() {
+		if err := s.Deliver(q.ID, FromCrowd(oracleLabels(gold, q.Pair))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	second := s.NextBatch()
+	if len(second) > 1 {
+		last := second[len(second)-1]
+		if err := s.Deliver(last.ID, FromCrowd(oracleLabels(gold, last.Pair))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	snapMid, err := EncodeSnapshot(s.Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The answers still to come, as a WAL-shaped log.
+	var rest []AnswerRec
+	for _, q := range second {
+		rest = append(rest, AnswerRec{U1: q.Pair.U1, U2: q.Pair.U2, Labels: FromCrowd(oracleLabels(gold, q.Pair))})
+	}
+	walSeed, err := json.Marshal(rest)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Real completed snapshot.
+	done := New("seed-done", prep(), nil)
+	for !done.Done() {
+		for _, q := range done.NextBatch() {
+			if err := done.Deliver(q.ID, FromCrowd(oracleLabels(gold, q.Pair))); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	snapDone, err := EncodeSnapshot(done.Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Real fresh snapshot.
+	snapFresh, err := EncodeSnapshot(New("seed-fresh", prep(), nil).Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(snapMid, walSeed)
+	f.Add(snapDone, []byte(`[]`))
+	f.Add(snapFresh, walSeed)
+	f.Add([]byte(`{"version":1,"id":"x","applied":[{"u1":0,"u2":0,"labels":null}]}`), []byte(`null`))
+	f.Add([]byte(`{"version":1,"id":"s","shards":7,"shard_sizes":[1,2]}`), []byte(`[{"u1":-1,"u2":99,"labels":[{"worker":0,"quality":9,"match":true}]}]`))
+
+	f.Fuzz(func(t *testing.T, snapJSON, walJSON []byte) {
+		snap, err := DecodeSnapshot(snapJSON)
+		if err != nil {
+			return // malformed bytes must error, never panic
+		}
+		restored, err := Restore(prep(), nil, snap)
+		if err != nil {
+			return // divergent snapshots must be rejected, never panic
+		}
+
+		// Accepted input: the re-snapshot is the canonical form and must
+		// be a fixed point of restore ∘ snapshot.
+		canon, err := EncodeSnapshot(restored.Snapshot())
+		if err != nil {
+			t.Fatalf("re-snapshot of an accepted snapshot failed to encode: %v", err)
+		}
+		snap2, err := DecodeSnapshot(canon)
+		if err != nil {
+			t.Fatalf("canonical snapshot does not decode: %v", err)
+		}
+		again, err := Restore(prep(), nil, snap2)
+		if err != nil {
+			t.Fatalf("canonical snapshot does not restore: %v", err)
+		}
+		canon2, err := EncodeSnapshot(again.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("round-trip diverged:\n first %s\nsecond %s", canon, canon2)
+		}
+
+		// Feed the fuzzed answer log on top; deliveries may be rejected
+		// but must never panic, and the session must stay snapshotable.
+		var recs []AnswerRec
+		if json.Unmarshal(walJSON, &recs) != nil {
+			return
+		}
+		for _, rec := range recs {
+			q := pair.Pair{U1: kb.EntityID(rec.U1), U2: kb.EntityID(rec.U2)}
+			_ = restored.DeliverPair(q, ToCrowd(rec.Labels))
+		}
+		if _, err := EncodeSnapshot(restored.Snapshot()); err != nil {
+			t.Fatalf("snapshot after answer-log replay failed: %v", err)
+		}
+	})
+}

@@ -5,13 +5,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pair"
 )
 
 // ErrSessionExists is returned by Manager.Restore when the snapshot's ID
 // is already registered.
 var ErrSessionExists = errors.New("session: id already exists")
+
+// ErrPersist marks errors from the durable layer (the session Store):
+// the session state is fine, the storage is not. Servers should map it
+// to a 5xx, not a client error.
+var ErrPersist = errors.New("session: persistence failure")
 
 // Manager owns a set of concurrent sessions and the per-namespace answer
 // caches they share. Sessions created in the same namespace — the same
@@ -20,21 +27,44 @@ var ErrSessionExists = errors.New("session: id already exists")
 // dataset). The Manager also owns one core.Scheduler: every session's
 // sharded pipeline draws its shard workers from this shared pool, so any
 // number of concurrent sessions fan out at most GOMAXPROCS shard tasks
-// machine-wide. All methods are safe for concurrent use.
+// machine-wide.
+//
+// Every managed session is journaled into the Manager's Store: the
+// session's pipeline meta and an initial snapshot at creation, then one
+// WAL append per applied answer, with the snapshot rotated every
+// rotateEvery answers. Recover rebuilds the sessions a previous process
+// left in the store. The default store is the in-memory MemStore (the
+// same code path, no durability); give NewManagerStore a DiskStore for
+// crash-safe sessions. All methods are safe for concurrent use.
 type Manager struct {
-	mu       sync.Mutex
-	sessions map[string]*Session
-	caches   map[string]*Cache
-	nextID   int
-	sched    *core.Scheduler
+	mu           sync.Mutex
+	sessions     map[string]*Session
+	caches       map[string]*Cache
+	nextID       int
+	sched        *core.Scheduler
+	store        Store
+	rotateEvery  int
+	persistFails atomic.Int64
 }
 
-// NewManager returns an empty manager.
-func NewManager() *Manager {
+// NewManager returns an empty manager journaling into an in-memory
+// store.
+func NewManager() *Manager { return NewManagerStore(NewMemStore(), 0) }
+
+// NewManagerStore returns an empty manager journaling every session
+// into store, rotating each session's snapshot every rotateEvery
+// answers (0 selects DefaultRotateEvery). The manager takes ownership
+// of the store; Close closes it.
+func NewManagerStore(store Store, rotateEvery int) *Manager {
+	if rotateEvery <= 0 {
+		rotateEvery = DefaultRotateEvery
+	}
 	return &Manager{
-		sessions: make(map[string]*Session),
-		caches:   make(map[string]*Cache),
-		sched:    core.NewScheduler(0),
+		sessions:    make(map[string]*Session),
+		caches:      make(map[string]*Cache),
+		sched:       core.NewScheduler(0),
+		store:       store,
+		rotateEvery: rotateEvery,
 	}
 }
 
@@ -42,6 +72,14 @@ func NewManager() *Manager {
 // preparing pipelines for managed sessions should place it in
 // core.Config.Sched so shard fan-out is bounded across all sessions.
 func (m *Manager) Scheduler() *core.Scheduler { return m.sched }
+
+// Store returns the manager's session store.
+func (m *Manager) Store() Store { return m.store }
+
+// PersistFailures returns how many journal or rotation operations have
+// failed across all sessions; non-zero means at least one session's
+// durable state is stale (see Session.PersistErr).
+func (m *Manager) PersistFailures() int64 { return m.persistFails.Load() }
 
 // Cache returns the namespace's shared answer cache, creating it on first
 // use.
@@ -61,53 +99,214 @@ func (m *Manager) cacheLocked(namespace string) *Cache {
 }
 
 // Create starts a new session in the namespace and registers it under a
-// fresh ID. The Prepared must be exclusive to the session.
-func (m *Manager) Create(p *core.Prepared, namespace string) *Session {
-	m.mu.Lock()
-	// Skip counter values colliding with restored-session IDs, and claim
-	// the slot before releasing the lock so a concurrent Restore cannot
-	// race onto the same ID.
-	var id string
-	for {
-		m.nextID++
-		id = fmt.Sprintf("s%d", m.nextID)
-		if _, taken := m.sessions[id]; !taken {
-			break
-		}
-	}
-	m.sessions[id] = nil
-	cache := m.cacheLocked(namespace)
-	m.mu.Unlock()
+// fresh ID. The Prepared must be exclusive to the session. meta is the
+// opaque pipeline spec stored alongside the session — whatever the
+// caller needs to re-prepare the same pipeline when recovering the
+// session from the store (may be nil when recovery is not needed).
+func (m *Manager) Create(p *core.Prepared, namespace string, meta []byte) (*Session, error) {
+	id := m.claimID()
+	cache := m.Cache(namespace)
 	// New drains the cache outside the manager lock: it can run long and
 	// only touches the session's own state plus the cache's own mutex.
 	s := New(id, p, cache)
+	for {
+		err := m.persistNew(s, meta, false)
+		if err == nil {
+			break
+		}
+		m.mu.Lock()
+		delete(m.sessions, s.id)
+		m.mu.Unlock()
+		if !errors.Is(err, ErrStoreExists) {
+			cache.releaseOwned(s.id)
+			return nil, err
+		}
+		// A dormant store record (unrecovered or skipped at startup)
+		// squats on this counter value; rebind the session to the next
+		// free ID and try again. Rebinding is safe here: the session is
+		// not yet registered, journaled, or holding reservations.
+		s.id = m.claimID()
+	}
 	m.mu.Lock()
-	m.sessions[id] = s
+	m.sessions[s.id] = s
 	m.mu.Unlock()
-	return s
+	return s, nil
+}
+
+// claimID allocates the next free session ID and claims its slot (nil
+// placeholder) under the manager lock, so a concurrent Create or
+// Restore cannot race onto the same ID.
+func (m *Manager) claimID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		m.nextID++
+		id := fmt.Sprintf("s%d", m.nextID)
+		if _, taken := m.sessions[id]; !taken {
+			m.sessions[id] = nil
+			return id
+		}
+	}
+}
+
+// persistNew writes the session's initial record (meta + a snapshot of
+// its current state, which covers any answers a cache drain already
+// applied) and attaches the journaling persister. replace clears a
+// stale store record under the same ID first.
+func (m *Manager) persistNew(s *Session, meta []byte, replace bool) error {
+	data, err := EncodeSnapshot(s.Snapshot())
+	if err != nil {
+		return fmt.Errorf("session: encoding initial snapshot: %w", err)
+	}
+	err = m.store.Create(s.ID(), meta, data)
+	if replace && errors.Is(err, ErrStoreExists) {
+		// The caller is explicitly restoring this ID from a snapshot it
+		// holds; an unrecovered store record under the same ID is stale.
+		if err = m.store.Delete(s.ID()); err == nil {
+			err = m.store.Create(s.ID(), meta, data)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%w: storing %q: %w", ErrPersist, s.ID(), err)
+	}
+	s.attachPersist(&persister{
+		store:       m.store,
+		id:          s.ID(),
+		rotateEvery: m.rotateEvery,
+		fails:       &m.persistFails,
+	})
+	return nil
 }
 
 // Restore rebuilds a snapshotted session in the namespace and registers it
-// under its snapshot ID. It fails when the ID is already live.
-func (m *Manager) Restore(p *core.Prepared, namespace string, snap *Snapshot) (*Session, error) {
+// under its snapshot ID, persisting it like a created session. It fails
+// when the ID is already live.
+func (m *Manager) Restore(p *core.Prepared, namespace string, meta []byte, snap *Snapshot) (*Session, error) {
+	// Claim the ID (nil placeholder) up front, exactly like Create: a
+	// concurrent Restore of the same snapshot must lose here, before
+	// persistNew's replace path could delete the winner's live record.
 	m.mu.Lock()
 	if _, exists := m.sessions[snap.ID]; exists {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrSessionExists, snap.ID)
 	}
+	m.sessions[snap.ID] = nil
 	cache := m.cacheLocked(namespace)
 	m.mu.Unlock()
+	release := func() {
+		m.mu.Lock()
+		delete(m.sessions, snap.ID)
+		m.mu.Unlock()
+	}
 	s, err := Restore(p, cache, snap)
 	if err != nil {
+		release()
+		return nil, err
+	}
+	if err := m.persistNew(s, meta, true); err != nil {
+		release()
+		cache.releaseOwned(s.ID())
 		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, exists := m.sessions[snap.ID]; exists {
-		return nil, fmt.Errorf("%w: %q", ErrSessionExists, snap.ID)
-	}
 	m.sessions[snap.ID] = s
 	return s, nil
+}
+
+// Recover rebuilds every session the store holds — the process-restart
+// path. prepare maps a stored session's meta blob back to a freshly
+// prepared pipeline and its cache namespace. Each recovered session is
+// replayed through the snapshot/divergence machinery, the WAL appended
+// since its last snapshot is delivered on top (records the snapshot
+// already covers are skipped by sequence number), and the recovered
+// state is immediately rotated into a fresh snapshot. Sessions that
+// fail to recover are skipped and reported in the joined error; the
+// rest recover normally. Returns the recovered IDs in sorted order.
+func (m *Manager) Recover(prepare func(id string, meta []byte) (*core.Prepared, string, error)) ([]string, error) {
+	ids, err := m.store.List()
+	if err != nil {
+		return nil, fmt.Errorf("session: listing store: %w", err)
+	}
+	var recovered []string
+	var errs []error
+	for _, id := range ids {
+		if err := m.recoverOne(id, prepare); err != nil {
+			errs = append(errs, fmt.Errorf("session %q: %w", id, err))
+			continue
+		}
+		recovered = append(recovered, id)
+	}
+	sort.Strings(recovered)
+	return recovered, errors.Join(errs...)
+}
+
+// recoverOne rebuilds one stored session and registers it.
+func (m *Manager) recoverOne(id string, prepare func(id string, meta []byte) (*core.Prepared, string, error)) error {
+	m.mu.Lock()
+	_, live := m.sessions[id]
+	m.mu.Unlock()
+	if live {
+		return ErrSessionExists
+	}
+	rec, err := m.store.Get(id)
+	if err != nil {
+		return err
+	}
+	snap, err := DecodeSnapshot(rec.Snapshot)
+	if err != nil {
+		return err
+	}
+	if snap.ID != id {
+		return fmt.Errorf("stored snapshot carries id %q", snap.ID)
+	}
+	p, namespace, err := prepare(id, rec.Meta)
+	if err != nil {
+		return err
+	}
+	// Replay cache-free: a sibling's recovered answers must not advance
+	// this loop past its own durable state before the WAL suffix lands.
+	s, err := Restore(p, nil, snap)
+	if err != nil {
+		return err
+	}
+	// Deliver the WAL suffix the snapshot does not cover. The snapshot
+	// holds exactly the first len(Applied)+len(Pending) deliveries, so
+	// any WAL record below that sequence is already replayed.
+	next := len(snap.Applied) + len(snap.Pending)
+	for _, w := range rec.WAL {
+		if w.Seq < next {
+			continue
+		}
+		if w.Seq != next {
+			return fmt.Errorf("WAL gap: expected seq %d, found %d", next, w.Seq)
+		}
+		q := pair.Pair{U1: w.Answer.U1, U2: w.Answer.U2}
+		if err := s.DeliverPair(q, ToCrowd(w.Answer.Labels)); err != nil {
+			return fmt.Errorf("WAL replay diverged at seq %d: %w", w.Seq, err)
+		}
+		next++
+	}
+	// Only now join the namespace cache: share this session's answers
+	// out and drain in what siblings resolved while it was down.
+	s.joinCache(m.Cache(namespace))
+	// Fold the recovered state into a fresh snapshot before journaling
+	// resumes, so the WAL restarts empty.
+	data, err := EncodeSnapshot(s.Snapshot())
+	if err != nil {
+		return err
+	}
+	if err := m.store.PutSnapshot(id, data); err != nil {
+		return err
+	}
+	s.attachPersist(&persister{store: m.store, id: id, rotateEvery: m.rotateEvery, fails: &m.persistFails})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.sessions[id]; exists {
+		return ErrSessionExists
+	}
+	m.sessions[id] = s
+	return nil
 }
 
 // Get returns the session registered under id. A slot claimed by an
@@ -122,21 +321,48 @@ func (m *Manager) Get(id string) (*Session, bool) {
 	return s, ok
 }
 
-// Remove forgets the session and releases any question reservations it
-// still holds, so sibling sessions can re-post its in-flight pairs.
-func (m *Manager) Remove(id string) {
+// Remove forgets the session, deletes its durable record and releases
+// any question reservations it still holds, so sibling sessions can
+// re-post its in-flight pairs. It reports whether anything was removed.
+// The store delete comes first: if it fails the session stays
+// registered and the Remove can be retried — unregistering first would
+// strand an API-unreachable durable record that resurrects the session
+// on the next restart. An ID that is not live but still has a store
+// record (a session whose recovery failed, or one left dormant by a
+// recovery-less OpenManager) is purged from the store, so broken
+// records remain deletable through the API.
+func (m *Manager) Remove(id string) (bool, error) {
 	m.mu.Lock()
-	s := m.sessions[id]
-	if s == nil {
-		// Unknown ID or a Create still in flight; leave claimed slots be.
-		m.mu.Unlock()
-		return
+	s, tracked := m.sessions[id]
+	m.mu.Unlock()
+	if tracked && s == nil {
+		// A Create or Restore still in flight; leave claimed slots be.
+		return false, nil
 	}
+	if s == nil {
+		// Not live: purge a dormant store record, if any.
+		if _, err := m.store.Get(id); err != nil {
+			if errors.Is(err, ErrStoreNotFound) {
+				return false, nil
+			}
+			// The record exists but is unreadable (e.g. corrupt WAL) —
+			// exactly the thing an operator wants to delete; fall through.
+		}
+		if err := m.store.Delete(id); err != nil {
+			return false, fmt.Errorf("%w: deleting %q from store: %w", ErrPersist, id, err)
+		}
+		return true, nil
+	}
+	if err := s.deleteFromStore(m.store); err != nil {
+		return false, fmt.Errorf("%w: deleting %q from store: %w", ErrPersist, id, err)
+	}
+	m.mu.Lock()
 	delete(m.sessions, id)
 	m.mu.Unlock()
 	if s.cache != nil {
 		s.cache.releaseOwned(s.ID())
 	}
+	return true, nil
 }
 
 // IDs returns the live session IDs in deterministic order.
@@ -151,4 +377,25 @@ func (m *Manager) IDs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// FlushAll rotates every live session's durable snapshot to its current
+// state — the graceful-shutdown path: after a flush, recovery replays
+// snapshots only, no WAL.
+func (m *Manager) FlushAll() error {
+	var errs []error
+	for _, id := range m.IDs() {
+		if s, ok := m.Get(id); ok {
+			if err := s.Flush(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close flushes every session and closes the store.
+func (m *Manager) Close() error {
+	flushErr := m.FlushAll()
+	return errors.Join(flushErr, m.store.Close())
 }

@@ -104,10 +104,11 @@ func FromCrowd(labels []crowd.Label) []Label {
 // with cache-mediated answer sharing and an event log for snapshots. All
 // methods are safe for concurrent use.
 type Session struct {
-	mu    sync.Mutex
-	id    string
-	loop  *core.Loop
-	cache *Cache // nil when the session does not share answers
+	mu      sync.Mutex
+	id      string
+	loop    *core.Loop
+	cache   *Cache     // nil when the session does not share answers
+	persist *persister // nil when the session is not journaled to a Store
 }
 
 // New starts a session over a freshly prepared pipeline. The Prepared must
@@ -203,10 +204,71 @@ func (s *Session) DeliverPair(q pair.Pair, labels []crowd.Label) error {
 	if err := s.loop.Deliver(q, labels); err != nil {
 		return err
 	}
+	s.journalLocked(q, labels)
 	if s.cache != nil {
 		s.cache.put(q, labels)
 	}
 	s.drainCache()
+	return nil
+}
+
+// journalLocked appends one accepted answer to the session's durable
+// journal. Persistence is fail-stop, not fail-loud: a journal error
+// freezes the durable state at the last consistent prefix (recorded as
+// the sticky PersistErr) while the in-memory session keeps running, so
+// a broken disk degrades durability rather than corrupting it or
+// rejecting answers the loop already applied. Callers hold s.mu.
+func (s *Session) journalLocked(q pair.Pair, labels []crowd.Label) {
+	if s.persist != nil {
+		s.persist.journal(s, q, labels)
+	}
+}
+
+// PersistErr returns the sticky journal error, if persistence has
+// failed; the session's durable state is frozen at the answer before
+// the first failure.
+func (s *Session) PersistErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.err
+}
+
+// Flush rotates the session's durable snapshot to its current state so
+// recovery needs no WAL replay — the graceful-shutdown path.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.rotate(s)
+}
+
+// attachPersist starts journaling the session to pers, whose sequence
+// counter picks up after the answers already delivered (all covered by
+// the snapshot persisted alongside this attach).
+func (s *Session) attachPersist(pers *persister) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pers.seq = len(s.loop.History()) + len(s.loop.Buffered())
+	s.persist = pers
+}
+
+// deleteFromStore removes the session's durable record under the
+// session lock — the Store contract serializes per-ID calls through
+// this lock, so no in-flight journal append can race the delete — and
+// detaches the persister on success so no later delivery journals into
+// the void (which would trip the persist-failure health signal).
+func (s *Session) deleteFromStore(store Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := store.Delete(s.id); err != nil {
+		return err
+	}
+	s.persist = nil
 	return nil
 }
 
@@ -226,6 +288,25 @@ func (s *Session) Result() *core.Result {
 	}
 }
 
+// joinCache attaches a session recovered without a cache to its
+// namespace cache: its own answers are shared out, and answers siblings
+// contributed while it was down are drained in. Recovery keeps the
+// cache detached until the WAL replay is complete — otherwise answers
+// recovered from sibling sessions would advance the loop past its own
+// durable state and the WAL suffix would no longer apply.
+func (s *Session) joinCache(c *Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+	for _, a := range s.loop.History() {
+		c.put(a.Pair, a.Labels)
+	}
+	for _, a := range s.loop.Buffered() {
+		c.put(a.Pair, a.Labels)
+	}
+	s.drainCache()
+}
+
 // drainCache delivers every cached answer for the open batch, repeating as
 // deliveries advance the loop into new batches, and releases this
 // session's reservations once the loop finishes. Callers hold s.mu.
@@ -240,6 +321,7 @@ outer:
 				if err := s.loop.Deliver(q, labels); err != nil {
 					panic(err) // q came from Batch; delivery cannot fail
 				}
+				s.journalLocked(q, labels)
 				continue outer // the batch may have changed entirely
 			}
 		}

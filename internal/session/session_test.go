@@ -267,7 +267,11 @@ func TestManagerConcurrentSessionsShareAnswers(t *testing.T) {
 	oracle := &countingOracle{gold: gold, asked: map[pair.Pair]int{}}
 	sessions := make([]*Session, nSessions)
 	for i := range sessions {
-		sessions[i] = mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books")
+		var err error
+		sessions[i], err = mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	if got := len(mgr.IDs()); got != nSessions {
 		t.Fatalf("manager tracks %d sessions, want %d", got, nSessions)
@@ -329,13 +333,19 @@ func TestManagerCreateSkipsRestoredIDs(t *testing.T) {
 	mgr := NewManager()
 
 	donor := New("s2", core.Prepare(k1, k2, testConfig(nil)), nil)
-	restored, err := mgr.Restore(core.Prepare(k1, k2, testConfig(nil)), "books", donor.Snapshot())
+	restored, err := mgr.Restore(core.Prepare(k1, k2, testConfig(nil)), "books", nil, donor.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	a := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books")
-	b := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books")
+	a, err := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.ID() == "s2" || b.ID() == "s2" {
 		t.Fatalf("Create reused the restored ID: %q, %q", a.ID(), b.ID())
 	}
@@ -353,8 +363,14 @@ func TestManagerCreateSkipsRestoredIDs(t *testing.T) {
 func TestManagerRemoveReleasesReservations(t *testing.T) {
 	k1, k2, _ := bookWorld(5, 26)
 	mgr := NewManager()
-	a := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books")
-	b := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books")
+	a, err := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	batchA := a.NextBatch()
 	if len(batchA) == 0 {
@@ -365,7 +381,9 @@ func TestManagerRemoveReleasesReservations(t *testing.T) {
 	if got := b.NextBatch(); len(got) != 0 {
 		t.Fatalf("session b was handed %d questions a already has in flight", len(got))
 	}
-	mgr.Remove(a.ID())
+	if _, err := mgr.Remove(a.ID()); err != nil {
+		t.Fatal(err)
+	}
 	if got := b.NextBatch(); len(got) != len(batchA) {
 		t.Fatalf("after removing a, session b got %d questions, want %d", len(got), len(batchA))
 	}

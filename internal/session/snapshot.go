@@ -57,6 +57,12 @@ func toRecs(answers []core.Answer) []AnswerRec {
 func (s *Session) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot for callers already holding s.mu (the
+// persister's rotation runs inside the journal hook).
+func (s *Session) snapshotLocked() *Snapshot {
 	snap := &Snapshot{
 		Version: SnapshotVersion,
 		ID:      s.id,

@@ -1,0 +1,191 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the durable face of a session: an event-sourced snapshot plus
+// an append-only write-ahead log of the answers delivered since that
+// snapshot was taken. The Manager journals every applied answer through
+// AppendAnswer and periodically rotates the snapshot with PutSnapshot,
+// which also lets the store discard the WAL prefix the snapshot now
+// covers. Recovery reads the record back with Get and replays
+// snapshot + WAL through the session replay/divergence machinery.
+//
+// The store treats meta and snapshot as opaque bytes: meta is whatever
+// the owner needs to re-prepare the session's pipeline (the server
+// persists its CreateRequest JSON there), snapshot is the session
+// package's own JSON form (EncodeSnapshot). WAL records carry a
+// per-session delivery sequence number so recovery can skip records
+// that a crash left behind after they were already folded into a
+// snapshot.
+//
+// Implementations must be safe for concurrent use across sessions;
+// calls for one session ID are serialized by the owning session's lock.
+type Store interface {
+	// Create registers a new session with its pipeline meta and initial
+	// snapshot. It fails with ErrStoreExists when the ID is taken.
+	Create(id string, meta, snapshot []byte) error
+	// AppendAnswer durably appends one delivered answer. seq is the
+	// 0-based position of the answer in the session's delivery order.
+	AppendAnswer(id string, seq int, rec AnswerRec) error
+	// PutSnapshot atomically replaces the session's snapshot. The WAL
+	// records folded into the snapshot may be discarded afterwards.
+	PutSnapshot(id string, snapshot []byte) error
+	// Get returns the stored record of a session (ErrStoreNotFound when
+	// the ID is unknown).
+	Get(id string) (*Record, error)
+	// List returns the stored session IDs in deterministic order.
+	List() ([]string, error)
+	// Delete forgets a session. Deleting an unknown ID is a no-op.
+	Delete(id string) error
+	// Close releases the store's resources. Using the store afterwards
+	// is an error.
+	Close() error
+}
+
+// Record is the stored state of one session.
+type Record struct {
+	// Meta is the opaque pipeline spec persisted at Create.
+	Meta []byte
+	// Snapshot is the session snapshot persisted last (EncodeSnapshot).
+	Snapshot []byte
+	// WAL holds the answers appended since, in append order.
+	WAL []WALRec
+}
+
+// WALRec is one appended answer with its delivery sequence number.
+type WALRec struct {
+	Seq    int       `json:"seq"`
+	Answer AnswerRec `json:"answer"`
+}
+
+// Store errors.
+var (
+	// ErrStoreExists is returned by Create for an ID already stored.
+	ErrStoreExists = errors.New("session: store already holds id")
+	// ErrStoreNotFound is returned for operations on unknown IDs.
+	ErrStoreNotFound = errors.New("session: store has no record of id")
+	// ErrStoreClosed is returned for operations on a closed store.
+	ErrStoreClosed = errors.New("session: store is closed")
+)
+
+// MemStore is the in-memory Store: the durable interface over a plain
+// map. It gives no crash safety — it exists so the persistence path has
+// a single shape regardless of backend, and so tests can exercise the
+// journal/rotate/recover cycle without touching disk.
+type MemStore struct {
+	mu     sync.Mutex
+	recs   map[string]*Record
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{recs: make(map[string]*Record)}
+}
+
+// Create implements Store.
+func (m *MemStore) Create(id string, meta, snapshot []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStoreClosed
+	}
+	if _, ok := m.recs[id]; ok {
+		return fmt.Errorf("%w: %q", ErrStoreExists, id)
+	}
+	m.recs[id] = &Record{
+		Meta:     append([]byte(nil), meta...),
+		Snapshot: append([]byte(nil), snapshot...),
+	}
+	return nil
+}
+
+// AppendAnswer implements Store.
+func (m *MemStore) AppendAnswer(id string, seq int, rec AnswerRec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStoreClosed
+	}
+	r, ok := m.recs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrStoreNotFound, id)
+	}
+	labels := append([]Label(nil), rec.Labels...)
+	r.WAL = append(r.WAL, WALRec{Seq: seq, Answer: AnswerRec{U1: rec.U1, U2: rec.U2, Labels: labels}})
+	return nil
+}
+
+// PutSnapshot implements Store.
+func (m *MemStore) PutSnapshot(id string, snapshot []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStoreClosed
+	}
+	r, ok := m.recs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrStoreNotFound, id)
+	}
+	r.Snapshot = append([]byte(nil), snapshot...)
+	r.WAL = nil
+	return nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(id string) (*Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrStoreClosed
+	}
+	r, ok := m.recs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrStoreNotFound, id)
+	}
+	out := &Record{
+		Meta:     append([]byte(nil), r.Meta...),
+		Snapshot: append([]byte(nil), r.Snapshot...),
+		WAL:      append([]WALRec(nil), r.WAL...),
+	}
+	return out, nil
+}
+
+// List implements Store.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrStoreClosed
+	}
+	out := make([]string, 0, len(m.recs))
+	for id := range m.recs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStoreClosed
+	}
+	delete(m.recs, id)
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

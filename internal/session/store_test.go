@@ -1,0 +1,328 @@
+package session
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStoreContract pins the Store semantics both backends share.
+func TestStoreContract(t *testing.T) {
+	backends := []struct {
+		name string
+		open func(t *testing.T) Store
+	}{
+		{"mem", func(t *testing.T) Store { return NewMemStore() }},
+		{"disk", func(t *testing.T) Store {
+			st, err := NewDiskStore(filepath.Join(t.TempDir(), "data"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			st := b.open(t)
+			defer st.Close()
+
+			if _, err := st.Get("nope"); !errors.Is(err, ErrStoreNotFound) {
+				t.Fatalf("Get on empty store: %v, want ErrStoreNotFound", err)
+			}
+			if err := st.Create("s1", []byte("meta-1"), []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Create("s1", nil, nil); !errors.Is(err, ErrStoreExists) {
+				t.Fatalf("duplicate Create: %v, want ErrStoreExists", err)
+			}
+			recs := []AnswerRec{
+				{U1: 1, U2: 2, Labels: []Label{{WorkerID: 0, Quality: 0.9, IsMatch: true}}},
+				{U1: 3, U2: 4, Labels: []Label{{WorkerID: 1, Quality: 0.8, IsMatch: false}}},
+				{U1: 5, U2: 6, Labels: nil},
+			}
+			for i, rec := range recs {
+				if err := st.AppendAnswer("s1", i, rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := st.Get("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got.Meta) != "meta-1" || string(got.Snapshot) != `{"v":1}` {
+				t.Fatalf("Get returned meta %q snapshot %q", got.Meta, got.Snapshot)
+			}
+			if len(got.WAL) != len(recs) {
+				t.Fatalf("WAL holds %d records, want %d", len(got.WAL), len(recs))
+			}
+			for i, w := range got.WAL {
+				if w.Seq != i || w.Answer.U1 != recs[i].U1 || w.Answer.U2 != recs[i].U2 || len(w.Answer.Labels) != len(recs[i].Labels) {
+					t.Fatalf("WAL[%d] = %+v, want seq %d answer %+v", i, w, i, recs[i])
+				}
+			}
+
+			// Rotation replaces the snapshot and truncates the WAL.
+			if err := st.PutSnapshot("s1", []byte(`{"v":2}`)); err != nil {
+				t.Fatal(err)
+			}
+			got, err = st.Get("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got.Snapshot) != `{"v":2}` || len(got.WAL) != 0 {
+				t.Fatalf("after rotation: snapshot %q, %d WAL records", got.Snapshot, len(got.WAL))
+			}
+			// Appends continue after rotation with their running sequence.
+			if err := st.AppendAnswer("s1", 3, recs[0]); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = st.Get("s1")
+			if len(got.WAL) != 1 || got.WAL[0].Seq != 3 {
+				t.Fatalf("post-rotation WAL = %+v", got.WAL)
+			}
+
+			ids, err := st.List()
+			if err != nil || len(ids) != 1 || ids[0] != "s1" {
+				t.Fatalf("List = %v, %v", ids, err)
+			}
+			if err := st.Delete("s1"); err != nil {
+				t.Fatal(err)
+			}
+			if ids, _ := st.List(); len(ids) != 0 {
+				t.Fatalf("List after Delete = %v", ids)
+			}
+			if err := st.Delete("s1"); err != nil {
+				t.Fatalf("Delete of unknown id should be a no-op, got %v", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.List(); !errors.Is(err, ErrStoreClosed) {
+				t.Fatalf("List after Close: %v, want ErrStoreClosed", err)
+			}
+		})
+	}
+}
+
+// TestDiskStoreUnsafeIDs proves hostile session IDs cannot escape the
+// data directory and still round-trip through List.
+func TestDiskStoreUnsafeIDs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ids := []string{"s1", "../../evil", "a/b", "@hex-looking", "job 42", "s1.bak"}
+	for _, id := range ids {
+		if err := st.Create(id, nil, []byte("{}")); err != nil {
+			t.Fatalf("Create(%q): %v", id, err)
+		}
+	}
+	got, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("List = %v, want %d ids", got, len(ids))
+	}
+	for _, id := range ids {
+		if _, err := st.Get(id); err != nil {
+			t.Errorf("Get(%q): %v", id, err)
+		}
+	}
+	// Nothing may exist outside the store root.
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "evil")); !os.IsNotExist(err) {
+		t.Fatal("a session ID escaped the data directory")
+	}
+}
+
+// TestDiskStoreTornFinalLine proves a torn trailing WAL line (a kill
+// mid-write, before the fsync and the ack) is dropped, while a
+// malformed line before valid ones is reported as corruption.
+func TestDiskStoreTornFinalLine(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create("s1", nil, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendAnswer("s1", 0, AnswerRec{U1: 1, U2: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	wal := filepath.Join(dir, "sessions", "s1", walName(1))
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":1,"answer":{"u1":3,`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec, err := st2.Get("s1")
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if len(rec.WAL) != 1 || rec.WAL[0].Seq != 0 {
+		t.Fatalf("recovered WAL = %+v, want the one intact record", rec.WAL)
+	}
+
+	// A malformed line with valid records after it is corruption.
+	data, _ := os.ReadFile(wal)
+	if err := os.WriteFile(wal, append([]byte("garbage\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Get("s1"); err == nil {
+		t.Fatal("mid-file corruption went undetected")
+	}
+}
+
+// TestManagerDiskRoundTrip is the happy-path durability test: sessions
+// journaled to a disk store, the process "restarts" (new store + new
+// manager), recovery rebuilds them mid-run and they finish with results
+// byte-identical to the synchronous run.
+func TestManagerDiskRoundTrip(t *testing.T) {
+	k1, k2, gold := bookWorld(6, 31)
+	want := core.Prepare(k1, k2, testConfig(nil)).Run(core.NewOracleAsker(gold.IsMatch))
+	dir := filepath.Join(t.TempDir(), "data")
+
+	prep := func(id string, meta []byte) (*core.Prepared, string, error) {
+		if string(meta) != "spec-blob" {
+			t.Fatalf("recovery got meta %q", meta)
+		}
+		return core.Prepare(k1, k2, testConfig(nil)), "books", nil
+	}
+
+	// First incarnation: two sessions, a few answers each (rotateEvery 3
+	// exercises snapshot rotation mid-run), then an unflushed "crash"
+	// (the store is simply abandoned, like a killed process).
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManagerStore(st, 3)
+	var firstIDs []string
+	for i := 0; i < 2; i++ {
+		s, err := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", []byte("spec-blob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstIDs = append(firstIDs, s.ID())
+		for _, q := range s.NextBatch() {
+			if err := s.Deliver(q.ID, FromCrowd(oracleLabels(gold, q.Pair))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.PersistErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second incarnation.
+	st2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := NewManagerStore(st2, 3)
+	recovered, err := mgr2.Recover(prep)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %v, want both of %v", recovered, firstIDs)
+	}
+	for _, id := range recovered {
+		s, ok := mgr2.Get(id)
+		if !ok {
+			t.Fatalf("recovered session %s not registered", id)
+		}
+		for !s.Done() {
+			batch := s.NextBatch()
+			if len(batch) == 0 {
+				// Open questions in flight in the sibling; it is driven to
+				// completion below, but here both sessions share every answer
+				// through the cache, so an empty batch means the sibling's
+				// answers will drain in.
+				if s.Done() {
+					break
+				}
+				continue
+			}
+			for _, q := range batch {
+				if err := s.Deliver(q.ID, FromCrowd(oracleLabels(gold, q.Pair))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		assertResultsIdentical(t, want, s.Result())
+	}
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third incarnation: both sessions are done; recovery must restore
+	// them as done from their flushed snapshots alone.
+	st3, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr3 := NewManagerStore(st3, 3)
+	recovered, err = mgr3.Recover(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %v after flush", recovered)
+	}
+	for _, id := range recovered {
+		s, _ := mgr3.Get(id)
+		if !s.Done() {
+			t.Fatalf("session %s recovered un-done after a clean shutdown", id)
+		}
+		assertResultsIdentical(t, want, s.Result())
+	}
+	if err := mgr3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManagerCreateSkipsDormantStoreIDs is the regression test for a
+// store that still holds sessions the manager never recovered (failed
+// recovery, or OpenManager with recovery skipped): Create must step
+// over their IDs instead of failing with ErrStoreExists.
+func TestManagerCreateSkipsDormantStoreIDs(t *testing.T) {
+	k1, k2, _ := bookWorld(4, 71)
+	st := NewMemStore()
+	for _, id := range []string{"s1", "s2"} {
+		if err := st.Create(id, nil, []byte(`{"dormant":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr := NewManagerStore(st, 0)
+	s, err := mgr.Create(core.Prepare(k1, k2, testConfig(nil)), "books", nil)
+	if err != nil {
+		t.Fatalf("Create over dormant store records: %v", err)
+	}
+	if s.ID() == "s1" || s.ID() == "s2" {
+		t.Fatalf("Create reused dormant ID %q", s.ID())
+	}
+	if _, err := st.Get(s.ID()); err != nil {
+		t.Fatalf("created session not persisted: %v", err)
+	}
+	if rec, err := st.Get("s1"); err != nil || string(rec.Snapshot) != `{"dormant":true}` {
+		t.Fatalf("dormant record disturbed: %v %q", err, rec.Snapshot)
+	}
+}

@@ -90,6 +90,12 @@ func (s *Session) Result() *Result {
 	return fromCoreResult(s.s.Result())
 }
 
+// PersistErr returns the sticky journal error of a store-backed
+// session: non-nil means persistence failed and the durable state is
+// frozen at the last consistent prefix while the in-memory session
+// keeps running.
+func (s *Session) PersistErr() error { return s.s.PersistErr() }
+
 // Snapshot serializes the session's state to JSON: an event log of the
 // answers applied so far (plus any buffered out of order), replayable
 // against a freshly prepared pipeline. Persist it with the dataset and
@@ -118,32 +124,87 @@ func RestoreSession(ds Dataset, opts Options, snapshot []byte) (*Session, error)
 	return &Session{s: inner}, nil
 }
 
+// Store is durable session storage: event-sourced snapshots plus an
+// append-only answer WAL, journaled by a Manager so its sessions
+// survive a process restart. Two backends ship with the package:
+// NewMemStore (the in-memory map, no durability) and NewDiskStore
+// (fsync'd WAL segments with atomic snapshot rotation — crash-safe).
+type Store = session.Store
+
+// NewMemStore returns an in-memory session store.
+func NewMemStore() Store { return session.NewMemStore() }
+
+// NewDiskStore opens (creating if needed) a crash-safe session store
+// rooted at dir. See internal/session.DiskStore for the on-disk layout.
+func NewDiskStore(dir string) (Store, error) { return session.NewDiskStore(dir) }
+
+// ReopenFunc maps a stored session's meta blob — the opaque bytes the
+// owner attached at creation — back to the dataset, options and cache
+// namespace needed to re-prepare its pipeline during recovery.
+type ReopenFunc func(id string, meta []byte) (Dataset, Options, string, error)
+
 // Manager runs many concurrent sessions and shares crowd answers between
 // the sessions of one namespace (use one namespace per dataset): a pair
 // answered — or merely published — by one session is never re-posted by
-// another, so the crowd is asked each question at most once.
+// another, so the crowd is asked each question at most once. Every
+// session is journaled into the manager's Store (in-memory by default;
+// see OpenManager for durable sessions).
 type Manager struct {
 	m *session.Manager
 }
 
-// NewManager returns an empty session manager.
+// NewManager returns an empty session manager over an in-memory store.
 func NewManager() *Manager { return &Manager{m: session.NewManager()} }
+
+// OpenManager opens a session manager over a Store and recovers every
+// session a previous process left in it: each stored session's pipeline
+// is re-prepared via reopen, its snapshot and WAL are replayed through
+// the divergence-checking restore machinery, and the session resumes
+// under its original ID. The recovered IDs are returned in sorted
+// order. Sessions that fail to recover are skipped and reported in the
+// returned error; the manager is usable regardless. A nil reopen skips
+// recovery (any stored sessions stay dormant in the store).
+func OpenManager(store Store, reopen ReopenFunc) (*Manager, []string, error) {
+	m := &Manager{m: session.NewManagerStore(store, 0)}
+	if reopen == nil {
+		return m, nil, nil
+	}
+	ids, err := m.m.Recover(func(id string, meta []byte) (*core.Prepared, string, error) {
+		ds, opts, namespace, rerr := reopen(id, meta)
+		if rerr != nil {
+			return nil, "", rerr
+		}
+		p, perr := prepareSched(ds, opts, m.m.Scheduler())
+		if perr != nil {
+			return nil, "", perr
+		}
+		return p, namespace, nil
+	})
+	return m, ids, err
+}
 
 // NewSession prepares a pipeline and starts a managed session in the
 // namespace. Sharded pipelines of all managed sessions draw their shard
 // workers from the manager's shared scheduler, so concurrent sessions
-// cannot oversubscribe the machine.
-func (m *Manager) NewSession(ds Dataset, opts Options, namespace string) (*Session, error) {
+// cannot oversubscribe the machine. meta is stored with the session and
+// handed back to the ReopenFunc on recovery; pass nil when the manager's
+// store does not outlive the process.
+func (m *Manager) NewSession(ds Dataset, opts Options, namespace string, meta []byte) (*Session, error) {
 	p, err := prepareSched(ds, opts, m.m.Scheduler())
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: m.m.Create(p, namespace)}, nil
+	inner, err := m.m.Create(p, namespace, meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: inner}, nil
 }
 
 // RestoreSession rebuilds a snapshotted session inside the manager,
 // keeping its snapshot ID and re-joining the namespace's answer cache.
-func (m *Manager) RestoreSession(ds Dataset, opts Options, namespace string, snapshot []byte) (*Session, error) {
+// meta is stored with the session as in NewSession.
+func (m *Manager) RestoreSession(ds Dataset, opts Options, namespace string, snapshot, meta []byte) (*Session, error) {
 	snap, err := session.DecodeSnapshot(snapshot)
 	if err != nil {
 		return nil, err
@@ -152,7 +213,7 @@ func (m *Manager) RestoreSession(ds Dataset, opts Options, namespace string, sna
 	if err != nil {
 		return nil, err
 	}
-	inner, err := m.m.Restore(p, namespace, snap)
+	inner, err := m.m.Restore(p, namespace, meta, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -168,12 +229,27 @@ func (m *Manager) Get(id string) (*Session, bool) {
 	return &Session{s: inner}, true
 }
 
-// Remove forgets a session and releases the questions it still had in
-// flight, so sibling sessions can post them instead.
-func (m *Manager) Remove(id string) { m.m.Remove(id) }
+// Remove forgets a session, deletes its durable record and releases the
+// questions it still had in flight, so sibling sessions can post them
+// instead. It reports whether anything was removed: an ID that is not
+// live but still holds a store record (a session whose recovery failed)
+// is purged from the store.
+func (m *Manager) Remove(id string) (bool, error) { return m.m.Remove(id) }
 
 // SessionIDs returns the live session IDs in deterministic order.
 func (m *Manager) SessionIDs() []string { return m.m.IDs() }
+
+// PersistFailures returns how many store operations have failed across
+// the manager's sessions; non-zero means at least one session's durable
+// state is frozen behind its in-memory state (see Session.PersistErr).
+func (m *Manager) PersistFailures() int64 { return m.m.PersistFailures() }
+
+// Flush rotates every live session's durable snapshot to its current
+// state, so a subsequent recovery replays no WAL.
+func (m *Manager) Flush() error { return m.m.FlushAll() }
+
+// Close flushes every session and closes the store.
+func (m *Manager) Close() error { return m.m.Close() }
 
 // fromCoreResult converts the pipeline result to the public shape.
 func fromCoreResult(res *core.Result) *Result {
