@@ -1,0 +1,61 @@
+// Command remp-lint runs the repo's static-analysis suite (package
+// repro/internal/lint) over the module and reports invariant
+// violations as file:line:col diagnostics. It exits 1 when there are
+// findings, so CI can gate on it:
+//
+//	go run ./cmd/remp-lint ./...
+//
+// With no arguments it analyzes ./... relative to the current
+// directory. Pass -list to print the analyzers and their docs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remp-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remp-lint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remp-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(dir, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "remp-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the subset of golang.org/x/tools/go/analysis that remp-lint needs: an
+// Analyzer runs once per package over parsed, fully type-checked syntax
+// and reports position-accurate diagnostics; object facts computed for a
+// dependency are visible when its dependents are analyzed.
+//
+// The repo deliberately carries no third-party modules, so the canonical
+// x/tools framework is unavailable; this package keeps its shape (an
+// Analyzer value with a Run func over a Pass) so the analyzers could be
+// ported to the real driver mechanically if a dependency is ever
+// admitted. The one intentional divergence: the whole module is loaded
+// and checked in one process in dependency order, so facts are plain
+// in-memory values keyed by types.Object rather than serialized across
+// driver invocations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph description shown by remp-lint -help.
+	Doc string
+	// Match restricts which packages the analyzer reports on; nil means
+	// every package. Analyzers still run (and may export facts) on
+	// non-matching packages — Run sees Pass.Reportable false there.
+	Match func(pkgPath string) bool
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Reportable is false when the package is loaded only so facts can
+	// propagate (a dependency outside Analyzer.Match): Report calls are
+	// then dropped.
+	Reportable bool
+
+	report func(Diagnostic)
+	facts  map[types.Object]any
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic (dropped when the package is fact-only).
+func (p *Pass) Report(d Diagnostic) {
+	if p.Reportable {
+		p.report(d)
+	}
+}
+
+// Reportf formats and emits a diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact associates a fact with obj for this analyzer. Facts
+// survive into the passes of every package analyzed later in dependency
+// order, which is how per-function summaries cross package boundaries.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	if obj == nil {
+		return
+	}
+	p.facts[obj] = fact
+}
+
+// ObjectFact returns the fact previously exported for obj by this
+// analyzer, if any.
+func (p *Pass) ObjectFact(obj types.Object) (any, bool) {
+	f, ok := p.facts[obj]
+	return f, ok
+}
+
+// Finding is a resolved diagnostic: the analyzer that produced it and the
+// file position it anchors to.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}

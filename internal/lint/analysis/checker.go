@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// Run executes each analyzer over pkgs (which must be in dependency
+// order, as Load and LoadFixtures return them) and returns every finding
+// sorted by file position. An analyzer runs on every package so its
+// facts propagate bottom-up, but findings are kept only for packages the
+// analyzer's Match accepts.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		facts := make(map[types.Object]any)
+		for _, pkg := range pkgs {
+			pkg := pkg
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       loadFset,
+				Files:      pkg.Syntax,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				Reportable: a.Match == nil || a.Match(pkg.PkgPath),
+				facts:      facts,
+				report: func(d Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      loadFset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

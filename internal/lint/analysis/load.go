@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Module reports whether the package belongs to the tree under
+	// analysis (the repo module or a test fixture) rather than the
+	// standard library.
+	Module bool
+}
+
+// The loader keeps one process-global type-checking universe: a single
+// FileSet and one *types.Package per import path. Sharing it across
+// Load calls means the standard library is type-checked at most once per
+// process (each analyzer test reuses it) and facts keyed by
+// types.Object stay coherent within a run.
+var (
+	loadMu   sync.Mutex
+	loadFset = token.NewFileSet()
+	loadPkgs = map[string]*types.Package{"unsafe": types.Unsafe}
+	// loadedModule caches non-standard packages with their syntax so
+	// repeated Load/LoadFixtures calls in one process reuse them.
+	loadedModule = map[string]*Package{}
+)
+
+// Fset returns the FileSet all loaded packages share.
+func Fset() *token.FileSet { return loadFset }
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -json` for patterns in dir and returns the
+// packages in dependency order (dependencies before dependents).
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-json=Dir,ImportPath,Name,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO_ENABLED=0 resolves every standard-library package to its pure-Go
+	// variant, so the whole dependency closure type-checks from source.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for dec.More() {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// importerFor resolves imports against the global universe, retrying
+// under the standard library's vendor prefix (go list reports net's
+// golang.org/x/net/... dependencies as vendor/golang.org/x/net/...).
+type universeImporter struct{}
+
+func (universeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := loadPkgs[path]; ok {
+		return p, nil
+	}
+	if p, ok := loadPkgs["vendor/"+path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %s not yet type-checked", path)
+}
+
+// typeCheck parses and checks one package's files, registering the
+// result in the universe. Module packages keep full bodies and syntax;
+// standard-library packages are checked API-only (IgnoreFuncBodies) —
+// their function bodies are never analyzed, only their types imported.
+func typeCheck(importPath string, dir string, files []string, module bool) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(loadFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:         universeImporter{},
+		IgnoreFuncBodies: !module,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(importPath, loadFset, syntax, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, firstErr)
+	}
+	loadPkgs[importPath] = tpkg
+	lp := &Package{PkgPath: importPath, Syntax: syntax, Types: tpkg, TypesInfo: info, Module: module}
+	if module {
+		loadedModule[importPath] = lp
+	}
+	return lp, nil
+}
+
+// ensureListed type-checks every not-yet-loaded package in pkgs (given in
+// dependency order), returning the newly loaded non-standard packages in
+// order. Standard packages are registered in the universe only.
+func ensureListed(pkgs []*listedPkg) ([]*Package, error) {
+	var out []*Package
+	for _, p := range pkgs {
+		if _, ok := loadPkgs[p.ImportPath]; ok {
+			if lp := loadedModule[p.ImportPath]; lp != nil {
+				out = append(out, lp)
+			}
+			continue
+		}
+		lp, err := typeCheck(p.ImportPath, p.Dir, p.GoFiles, !p.Standard)
+		if err != nil {
+			return nil, err
+		}
+		if !p.Standard {
+			out = append(out, lp)
+		}
+	}
+	return out, nil
+}
+
+// Load lists patterns from dir (a module directory) and returns the
+// matched packages plus their in-module dependencies, fully
+// type-checked, in dependency order. Test files are not loaded: the
+// invariants remp-lint enforces are about shipped code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return ensureListed(listed)
+}
+
+// LoadFixtures loads fixture packages for analyzer tests. Each path
+// names a directory under srcRoot (srcRoot/<path>/*.go) forming one
+// package whose import path is <path>. Imports resolve first against
+// sibling fixture directories under srcRoot, then against the standard
+// library. Returned packages are in dependency order, fixtures' deps
+// included.
+func LoadFixtures(srcRoot string, paths ...string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	var out []*Package
+	seen := map[string]bool{}
+	var load func(path string, stack []string) error
+	load = func(path string, stack []string) error {
+		if seen[path] {
+			return nil
+		}
+		for _, s := range stack {
+			if s == path {
+				return fmt.Errorf("fixture import cycle: %v", append(stack, path))
+			}
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %s: %v", path, err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, e.Name())
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+		}
+		// Resolve imports before type-checking the fixture itself.
+		var std []string
+		for _, name := range files {
+			f, err := parser.ParseFile(loadFset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ipath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if _, ok := loadPkgs[ipath]; ok {
+					continue
+				}
+				if st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(ipath))); err == nil && st.IsDir() {
+					if err := load(ipath, append(stack, path)); err != nil {
+						return err
+					}
+				} else {
+					std = append(std, ipath)
+				}
+			}
+		}
+		if len(std) > 0 {
+			listed, err := goList(srcRoot, std)
+			if err != nil {
+				return err
+			}
+			if _, err := ensureListed(listed); err != nil {
+				return err
+			}
+		}
+		lp := loadedModule[path]
+		if lp == nil {
+			if lp, err = typeCheck(path, dir, files, true); err != nil {
+				return err
+			}
+		}
+		seen[path] = true
+		out = append(out, lp)
+		return nil
+	}
+	for _, p := range paths {
+		if err := load(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

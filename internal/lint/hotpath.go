@@ -1,0 +1,532 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Hotpath turns the benchmark gate's allocs_per_op=0 requirement into a
+// compile-time check. A function whose doc comment carries the
+// //remp:hotpath directive must not allocate per call, and neither may
+// the in-module functions it (transitively) calls — callee summaries
+// travel as analyzer facts, so a hot caller is diagnosed at its call
+// site when a callee in another package starts allocating.
+//
+// Flagged constructs: make/new, map and non-empty slice literals,
+// &composite{} (escaping composite), append whose base slice is a fresh
+// per-call local, closures that capture variables, conversions of
+// non-pointer-shaped values into interfaces (boxing — including implicit
+// boxing at call arguments, the old map[int]float64 regression shape),
+// calls into fmt/errors and other known-allocating stdlib helpers, and
+// calls to module functions whose own bodies allocate.
+//
+// Two idioms are recognized as amortized-zero and exempted, because the
+// flattened hot paths themselves rely on them:
+//   - grow paths: an allocation inside an if-statement whose condition
+//     mentions len() or cap() (pooled scratch growth);
+//   - the function's own result: an allocation that is returned (directly
+//     or through a local that every return hands back) is the caller's
+//     deliberate purchase, not hidden garbage. It still taints callers:
+//     a hot function calling an allocation-returning function is flagged
+//     unless it, too, returns that value.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbids allocating constructs in //remp:hotpath functions and their in-module callees",
+	Run:  runHotpath,
+}
+
+// allocSite is one per-call allocation inside a function body.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocInfo is the per-function summary exported as a fact.
+type allocInfo struct {
+	sites        []allocSite
+	returnsAlloc bool
+}
+
+// allocStdlib lists standard-library calls that always allocate; hot
+// paths must not construct errors or formatted strings.
+var allocStdlib = map[string]map[string]bool{
+	"fmt":     nil, // every fmt function allocates
+	"errors":  {"New": true, "Join": true},
+	"strconv": {"Itoa": true, "Quote": true, "FormatInt": true, "FormatFloat": true, "AppendQuote": false},
+	"strings": {"Join": true, "Split": true, "Fields": true, "Repeat": true, "ToLower": true, "ToUpper": true},
+}
+
+func runHotpath(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	funcBodies(pass, func(fd *ast.FuncDecl) {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			decls[fn] = fd
+		}
+	})
+	memo := map[*types.Func]*allocInfo{}
+	inProgress := map[*types.Func]bool{}
+	var compute func(fn *types.Func) *allocInfo
+	compute = func(fn *types.Func) *allocInfo {
+		if info, ok := memo[fn]; ok {
+			return info
+		}
+		if inProgress[fn] {
+			return &allocInfo{} // recursion: break the cycle optimistically
+		}
+		fd, ok := decls[fn]
+		if !ok {
+			// Not in this package: an imported fact, or unknown (stdlib).
+			if f, ok := pass.ObjectFact(fn); ok {
+				return f.(*allocInfo)
+			}
+			return &allocInfo{}
+		}
+		inProgress[fn] = true
+		info := collectAllocs(pass, fd, compute)
+		delete(inProgress, fn)
+		memo[fn] = info
+		return info
+	}
+	for fn := range decls {
+		info := compute(fn)
+		if len(info.sites) > 0 || info.returnsAlloc {
+			pass.ExportObjectFact(fn, info)
+		}
+	}
+	for fn, fd := range decls {
+		if !hasDirective(fd.Doc, "remp:hotpath") {
+			continue
+		}
+		for _, site := range compute(fn).sites {
+			pass.Reportf(site.pos, "%s in //remp:hotpath function %s", site.what, fn.Name())
+		}
+	}
+	return nil
+}
+
+// hotWalker carries the per-function state of collectAllocs.
+type hotWalker struct {
+	pass     *analysis.Pass
+	fd       *ast.FuncDecl
+	lookup   func(*types.Func) *allocInfo
+	returned map[types.Object]bool // locals handed back by a return
+	fresh    map[types.Object]bool // nil/empty slice locals (per-call append base)
+	stack    []ast.Node
+	info     allocInfo
+}
+
+// collectAllocs computes the allocation summary of one function.
+func collectAllocs(pass *analysis.Pass, fd *ast.FuncDecl, lookup func(*types.Func) *allocInfo) *allocInfo {
+	w := &hotWalker{pass: pass, fd: fd, lookup: lookup,
+		returned: map[types.Object]bool{}, fresh: map[types.Object]bool{}}
+	w.findReturnedAndFresh()
+	w.walk(fd.Body)
+	return &w.info
+}
+
+// findReturnedAndFresh records which locals are returned and which slice
+// locals start life empty (so appends to them allocate every call).
+func (w *hotWalker) findReturnedAndFresh() {
+	if w.fd.Type.Results != nil {
+		for _, field := range w.fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := w.pass.TypesInfo.ObjectOf(name); obj != nil {
+					w.returned[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(w.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if obj := w.pass.TypesInfo.ObjectOf(id); obj != nil {
+						w.returned[obj] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			// var v []T — appending to v allocates per call.
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := w.pass.TypesInfo.ObjectOf(name)
+					if obj == nil {
+						continue
+					}
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						w.fresh[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v := []T{} (empty literal) — same per-call append base.
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.CompositeLit)
+				if !ok || len(lit.Elts) > 0 || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					obj := w.pass.TypesInfo.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						w.fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walk traverses the body keeping an ancestor stack for the grow-path
+// and returned-value exemptions.
+func (w *hotWalker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return false
+		}
+		w.stack = append(w.stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if cap := w.capturedVar(n); cap != "" {
+				w.site(n.Pos(), fmt.Sprintf("closure capturing %s allocates per call", cap))
+			}
+			return false // closure bodies run elsewhere; the literal is the cost here
+		case *ast.CallExpr:
+			w.checkCall(n)
+		case *ast.CompositeLit:
+			w.checkCompositeLit(n)
+		case *ast.AssignStmt:
+			w.checkBoxingAssign(n)
+		case *ast.ReturnStmt:
+			w.checkBoxingReturn(n)
+		}
+		return true
+	})
+}
+
+// site records an allocation unless an exemption applies to the node on
+// top of the stack.
+func (w *hotWalker) site(pos token.Pos, what string) {
+	if w.growGuarded() {
+		return
+	}
+	w.info.sites = append(w.info.sites, allocSite{pos: pos, what: what})
+}
+
+// growGuarded reports whether the current node sits under an if whose
+// condition mentions len or cap — the pooled-scratch growth idiom.
+func (w *hotWalker) growGuarded() bool {
+	for _, anc := range w.stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if isBuiltin(w.pass, call, "len") || isBuiltin(w.pass, call, "cap") {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// resultReturned reports whether the expression on top of the stack is
+// returned, directly or via a returned local. When true the allocation
+// is the function's product, recorded as returnsAlloc instead of a site.
+func (w *hotWalker) resultReturned() bool {
+	i := len(w.stack) - 1
+	for i > 0 {
+		if _, ok := w.stack[i-1].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return false
+	}
+	switch parent := w.stack[i-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.UnaryExpr:
+		// &T{...}: look one more level up for the same contexts.
+		if parent.Op == token.AND && i >= 2 {
+			switch grand := w.stack[i-2].(type) {
+			case *ast.ReturnStmt:
+				return true
+			case *ast.AssignStmt:
+				return w.assignsToReturned(grand, parent)
+			}
+		}
+	case *ast.AssignStmt:
+		return w.assignsToReturned(parent, w.stack[i])
+	}
+	return false
+}
+
+// assignsToReturned reports whether as assigns rhs to a returned local.
+func (w *hotWalker) assignsToReturned(as *ast.AssignStmt, rhs ast.Node) bool {
+	for i, r := range as.Rhs {
+		if ast.Unparen(r) != rhs && r != rhs {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			return false
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := w.pass.TypesInfo.ObjectOf(id)
+		return obj != nil && w.returned[obj]
+	}
+	return false
+}
+
+// allocSiteOrResult records pos as a site unless the value is the
+// function's returned result.
+func (w *hotWalker) allocSiteOrResult(pos token.Pos, what string) {
+	if w.resultReturned() {
+		w.info.returnsAlloc = true
+		return
+	}
+	w.site(pos, what)
+}
+
+func (w *hotWalker) checkCall(call *ast.CallExpr) {
+	// Type conversions: flag boxing into an interface.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) {
+			w.checkBoxedExpr(call.Args[0], tv.Type)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := w.pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				w.allocSiteOrResult(call.Pos(), fmt.Sprintf("make(%s) allocates", exprTypeName(w.pass, call)))
+			case "new":
+				w.allocSiteOrResult(call.Pos(), "new(...) allocates")
+			case "append":
+				w.checkAppend(call)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(w.pass, call)
+	if fn != nil && fn.Pkg() != nil {
+		if names, ok := allocStdlib[fn.Pkg().Path()]; ok && (names == nil || names[fn.Name()]) {
+			w.site(call.Pos(), fmt.Sprintf("call to %s.%s allocates", fn.Pkg().Name(), fn.Name()))
+		} else if info := w.lookup(fn); info != nil {
+			if len(info.sites) > 0 {
+				first := w.pass.Fset.Position(info.sites[0].pos)
+				w.site(call.Pos(), fmt.Sprintf("calls %s, which allocates (%s at %s)", fn.Name(), info.sites[0].what, first))
+			} else if info.returnsAlloc {
+				w.allocSiteOrResult(call.Pos(), fmt.Sprintf("calls %s, which returns a fresh allocation", fn.Name()))
+			}
+		}
+	}
+	w.checkBoxedArgs(call)
+}
+
+// checkAppend flags appends whose base slice is a fresh per-call local.
+func (w *hotWalker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.pass.TypesInfo.ObjectOf(base)
+	if obj == nil || !w.fresh[obj] || w.returned[obj] {
+		return
+	}
+	w.site(call.Pos(), fmt.Sprintf("append to %s, a fresh per-call slice (allocates; reuse a pooled or field-backed buffer)", base.Name))
+}
+
+func (w *hotWalker) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := w.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		w.allocSiteOrResult(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		if len(lit.Elts) > 0 {
+			w.allocSiteOrResult(lit.Pos(), "slice literal allocates")
+		}
+	case *types.Struct, *types.Array:
+		// A value literal is free; &T{...} escapes to the heap.
+		if i := len(w.stack) - 1; i > 0 {
+			if u, ok := w.stack[i-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+				w.allocSiteOrResult(lit.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+	}
+}
+
+// checkBoxedArgs flags arguments implicitly converted to interface
+// parameters (boxing).
+func (w *hotWalker) checkBoxedArgs(call *ast.CallExpr) {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			w.checkBoxedExpr(arg, pt)
+		}
+	}
+}
+
+// checkBoxedExpr flags expr if converting it to iface allocates.
+func (w *hotWalker) checkBoxedExpr(expr ast.Expr, iface types.Type) {
+	tv, ok := w.pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return // nil and constants box statically
+	}
+	if pointerShaped(tv.Type) || types.IsInterface(tv.Type) {
+		return
+	}
+	w.site(expr.Pos(), fmt.Sprintf("%s boxed into %s (allocates)", tv.Type, iface))
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// without allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return underlyingBasic(t) == types.UnsafePointer
+	}
+	return false
+}
+
+// checkBoxingAssign flags concrete values assigned to interface-typed
+// destinations.
+func (w *hotWalker) checkBoxingAssign(as *ast.AssignStmt) {
+	n := len(as.Rhs)
+	if n != len(as.Lhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		ltv, ok := w.pass.TypesInfo.Types[as.Lhs[i]]
+		if !ok || !types.IsInterface(ltv.Type) {
+			continue
+		}
+		w.checkBoxedExpr(rhs, ltv.Type)
+	}
+}
+
+// checkBoxingReturn flags concrete values returned as interface results.
+func (w *hotWalker) checkBoxingReturn(ret *ast.ReturnStmt) {
+	if w.fd.Type.Results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range w.fd.Type.Results.List {
+		tv, ok := w.pass.TypesInfo.Types[field.Type]
+		if !ok {
+			return
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, tv.Type)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // single call expanding to multiple results
+	}
+	for i, res := range ret.Results {
+		if types.IsInterface(resultTypes[i]) {
+			w.checkBoxedExpr(res, resultTypes[i])
+		}
+	}
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// its enclosing function, or "".
+func (w *hotWalker) capturedVar(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || name != "" {
+			return name == ""
+		}
+		obj, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal (parameters and receiver included).
+		if obj.Pos() >= w.fd.Pos() && obj.Pos() < w.fd.End() && !insideNode(obj.Pos(), lit) {
+			name = obj.Name()
+		}
+		return name == ""
+	})
+	return name
+}
+
+// exprTypeName names the made type for diagnostics.
+func exprTypeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return "?"
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return exprString(call.Args[0])
+}

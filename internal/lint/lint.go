@@ -1,0 +1,46 @@
+// Package lint holds remp-lint, the repo's own static-analysis suite.
+// Each analyzer mechanizes an invariant the test suite can only probe
+// statistically:
+//
+//   - determinism: resolution results must be byte-identical across
+//     runs, shard layouts, async schedules and crash/recover cycles, so
+//     map-iteration order and wall-clock/random sources must not reach
+//     outputs in the deterministic packages.
+//   - hotpath: functions annotated //remp:hotpath (the propagation and
+//     selection inner loops gated at allocs_per_op=0 by the benchmark
+//     trajectory) must not allocate per call, nor call module functions
+//     that do.
+//   - waldurability: every os.Rename follows the fsync-then-rename-
+//     then-dir-sync protocol, and no file I/O runs while a store mutex
+//     is held.
+//   - indextypes: int32 CSR indices stay narrow — no widening into int
+//     map keys, no map[int]float64 accumulators over dense ids.
+//
+// Run the suite with:
+//
+//	go run ./cmd/remp-lint ./...
+//
+// The //remp:hotpath contract: put the directive in the doc comment of
+// a function whose steady-state cost must be allocation-free. The
+// analyzer checks the function and every in-module function it
+// statically calls (summaries propagate as facts, so cross-package
+// callees are covered). Two idioms are exempt: allocations guarded by a
+// len()/cap() condition (pool growth, amortized zero) and allocations
+// the function returns (the caller's deliberate purchase).
+//
+// There is deliberately no suppression mechanism — no //nolint for
+// these analyzers. A finding is either a real regression or an analyzer
+// bug; fix whichever is broken.
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers returns the full remp-lint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		Hotpath,
+		WALDurability,
+		IndexTypes,
+	}
+}

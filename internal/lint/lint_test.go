@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/linttest"
+)
+
+func fixtures(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.Determinism, "det")
+}
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.Hotpath, "hot")
+}
+
+// TestHotpathCrossPackage checks that allocation summaries reach
+// dependent packages as facts: hotuse's annotated functions are flagged
+// for allocations that happen inside hotdep.
+func TestHotpathCrossPackage(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.Hotpath, "hotdep", "hotuse")
+}
+
+func TestWALDurability(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.WALDurability, "wal")
+}
+
+func TestIndexTypes(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.IndexTypes, "idx")
+}
+
+// TestSuiteCleanOnRepo is the smoke test backing the CI gate: the full
+// suite over the real module must come out clean. There is no
+// suppression mechanism, so any finding here is a regression (or an
+// analyzer bug) to fix before merging.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := linttest.Findings(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("remp-lint finding on clean tree: %s", f)
+	}
+}

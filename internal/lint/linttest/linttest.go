@@ -1,0 +1,136 @@
+// Package linttest runs one analyzer over source fixtures and compares
+// its diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment expects one diagnostic on its own line whose message
+// matches the (backquoted or quoted) regular expression; several
+// expectations on one line are written as `// want "re1" "re2"`. Every
+// reported diagnostic must be wanted and every want must be matched, so
+// fixtures pin both the positive and the negative behavior of an
+// analyzer.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRe extracts the quoted expectations from a want comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one want entry: a file line and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages under srcRoot (each path names a
+// directory srcRoot/<path> forming one package) and runs a against all
+// of them, reporting on every named package. Findings and want comments
+// must agree exactly.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixtures(srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	named := map[string]bool{}
+	for _, p := range paths {
+		named[p] = true
+	}
+	// The fixture run substitutes its own Match: fixture import paths are
+	// not module paths, so the analyzer's real Match would skip them.
+	// Match semantics themselves (facts from non-reportable packages) are
+	// still exercised: dependency fixtures outside `paths` run fact-only.
+	fixture := *a
+	fixture.Match = func(path string) bool { return named[path] }
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{&fixture})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		if !named[pkg.PkgPath] {
+			continue
+		}
+		for _, file := range pkg.Syntax {
+			wants = append(wants, collectWants(t, file)...)
+		}
+	}
+
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses the want comments of one fixture file.
+func collectWants(t *testing.T, file *ast.File) []*expectation {
+	t.Helper()
+	fset := analysis.Fset()
+	var wants []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			matches := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+			}
+			for _, m := range matches {
+				raw := m[1]
+				if m[2] != "" {
+					raw = m[2]
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant marks and returns whether some unmatched want covers f.
+func matchWant(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Findings runs a over already-loaded packages and returns the findings
+// as strings, for tests that assert on exact output (the smoke test).
+func Findings(pkgs []*analysis.Package, analyzers []*analysis.Analyzer) ([]string, error) {
+	fs, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = fmt.Sprint(f)
+	}
+	return out, nil
+}

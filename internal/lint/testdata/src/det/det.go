@@ -1,0 +1,88 @@
+// Package det exercises the determinism analyzer: map-iteration order
+// and wall-clock/random sources must not reach outputs.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Clock() int64 {
+	return time.Now().Unix() // want `time\.Now in a deterministic package`
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `globally seeded random source`
+}
+
+// SeededOK draws from an explicitly seeded generator: deterministic.
+func SeededOK(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Seeding constructs a generator; the constructor itself is exempt.
+func Seeding(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation in map-iteration order`
+	}
+	return total
+}
+
+// SumInts accumulates integers: order-independent, passes.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in map-iteration order with no later sort`
+	}
+	return keys
+}
+
+// SortedKeys is the blessed collect-then-sort pattern.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func PrintsInOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written while ranging over a map`
+	}
+}
+
+func ReturnsArbitrary(m map[string]int) string {
+	for k := range m {
+		return k // want `returns a value derived from map-iteration variables`
+	}
+	return ""
+}
+
+// PerIterationSlice builds and consumes a slice inside each iteration:
+// no cross-iteration order escapes.
+func PerIterationSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		row := make([]int, 0, len(vs))
+		row = append(row, vs...)
+		n += len(row)
+	}
+	return n
+}

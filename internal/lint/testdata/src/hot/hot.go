@@ -1,0 +1,110 @@
+// Package hot exercises the hotpath analyzer: //remp:hotpath functions
+// must not allocate per call.
+package hot
+
+import "fmt"
+
+func sink(x any) { _ = x }
+
+//remp:hotpath
+func MakesMap(n int) int {
+	m := make(map[int]int, n) // want `make\(map\[int\]int\) allocates`
+	return len(m)
+}
+
+// ReturnsFresh hands the allocation straight back: the caller's
+// deliberate purchase, exempt.
+//
+//remp:hotpath
+func ReturnsFresh(n int) []int {
+	return make([]int, n)
+}
+
+// ReturnsViaLocal builds its result in a returned local: also exempt.
+//
+//remp:hotpath
+func ReturnsViaLocal(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// GrowsPooled reallocates only under a len() guard: pool growth,
+// amortized zero, exempt.
+//
+//remp:hotpath
+func GrowsPooled(buf []float64, n int) []float64 {
+	if len(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf
+}
+
+//remp:hotpath
+func AppendsFresh(xs []int) int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to out, a fresh per-call slice`
+	}
+	return len(out)
+}
+
+// AppendsPooled appends to a caller-owned buffer: the backing array
+// amortizes, exempt.
+//
+//remp:hotpath
+func AppendsPooled(buf []int, xs []int) []int {
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return buf
+}
+
+//remp:hotpath
+func Captures(xs []int) func() int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return func() int { // want `closure capturing total allocates per call`
+		return total
+	}
+}
+
+//remp:hotpath
+func Boxes(v int64) {
+	sink(v) // want `int64 boxed into any`
+}
+
+// PassesPointer hands over a pointer-shaped value: fits the interface
+// word, no allocation, exempt.
+//
+//remp:hotpath
+func PassesPointer(p *int) {
+	sink(p)
+}
+
+//remp:hotpath
+func Escapes(n int) *[4]int {
+	p := &[4]int{n, 0, 0, 0} // want `&composite literal escapes to the heap`
+	sink(p)
+	return nil
+}
+
+// localAlloc allocates; annotated callers are flagged at the call site.
+func localAlloc(n int) int {
+	m := make([]int, n)
+	return len(m)
+}
+
+//remp:hotpath
+func CallsLocalAlloc(n int) int {
+	return localAlloc(n) // want `calls localAlloc, which allocates`
+}
+
+//remp:hotpath
+func Formats(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf allocates` `int boxed into any`
+}

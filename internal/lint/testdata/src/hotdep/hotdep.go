@@ -1,0 +1,15 @@
+// Package hotdep provides callees for the cross-package hotpath test:
+// allocation summaries must travel to dependent packages as facts.
+package hotdep
+
+// Alloc allocates a map per call.
+func Alloc(n int) int {
+	m := make(map[int]int, n)
+	return len(m)
+}
+
+// Fresh returns a new slice (returnsAlloc, no internal site).
+func Fresh(n int) []int { return make([]int, n) }
+
+// Clean is allocation-free.
+func Clean(x int) int { return x + 1 }

@@ -1,0 +1,31 @@
+// Package hotuse exercises cross-package hotpath facts: annotated
+// functions here call into package hotdep, whose allocation summaries
+// were exported when hotdep was analyzed.
+package hotuse
+
+import "hotdep"
+
+//remp:hotpath
+func CallsAlloc(n int) int {
+	return hotdep.Alloc(n) // want `calls Alloc, which allocates`
+}
+
+// CallsFresh returns the callee's fresh result directly: the chain is
+// the caller's deliberate purchase, exempt.
+//
+//remp:hotpath
+func CallsFresh(n int) []int {
+	return hotdep.Fresh(n)
+}
+
+//remp:hotpath
+func UsesFresh(n int) int {
+	return len(hotdep.Fresh(n)) // want `calls Fresh, which returns a fresh allocation`
+}
+
+// CallsClean calls an allocation-free dependency: passes.
+//
+//remp:hotpath
+func CallsClean(x int) int {
+	return hotdep.Clean(x)
+}

@@ -1,0 +1,42 @@
+// Package idx exercises the indextypes analyzer: int32 CSR indices must
+// not widen into int map keys or re-box into map[int]float64.
+package idx
+
+func Widen(m map[int]struct{}, q int32) bool {
+	_, ok := m[int(q)] // want `int32 CSR index widened to an int map key`
+	return ok
+}
+
+// NarrowKey keeps the map keyed by the index type. Passes.
+func NarrowKey(m map[int32]float64, q int32) float64 {
+	return m[q]
+}
+
+// WideValue indexes with a value that was already an int (no widening
+// conversion). Passes.
+func WideValue(m map[int]int, q int) int {
+	return m[q]
+}
+
+func Accumulates(n int) int {
+	acc := map[int]float64{} // want `map\[int\]float64 over dense CSR indices`
+	acc[0] = 1
+	return len(acc)
+}
+
+// NarrowAccumulates keys the accumulator by the narrow type: the
+// sparse-overlay idiom. Passes.
+func NarrowAccumulates(n int) int {
+	acc := map[int32]float64{}
+	acc[0] = 1
+	return len(acc)
+}
+
+// DenseAccumulates is the preferred shape. Passes.
+func DenseAccumulates(n int) float64 {
+	acc := make([]float64, n)
+	for i := range acc {
+		acc[i] = 1
+	}
+	return acc[0]
+}

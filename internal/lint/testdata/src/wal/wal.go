@@ -1,0 +1,87 @@
+// Package wal exercises the waldurability analyzer: the fsync-then-
+// rename-then-dir-sync protocol and the no-file-I/O-under-mutex rule.
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+func RenameNoSync(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `os\.Rename without a preceding File\.Sync` `os\.Rename not followed by a directory sync`
+}
+
+// RenameSafe performs the full protocol: fsync the source, rename, then
+// sync the parent directory through a helper. Passes.
+func RenameSafe(tmp, dst string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return syncParent(dst)
+}
+
+func RenameNoDirSync(tmp, dst string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `os\.Rename not followed by a directory sync`
+}
+
+// syncParent fsyncs the directory containing path (the dir-sync idiom
+// the analyzer recognizes and propagates as a fact).
+func syncParent(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (s *store) BadAppend(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(b); err != nil { // want `File\.Write while s\.mu is held`
+		return err
+	}
+	return s.f.Sync() // want `File\.Sync while s\.mu is held`
+}
+
+// GoodAppend grabs the handle under the lock and does the I/O outside:
+// the DiskStore pattern. Passes.
+func (s *store) GoodAppend(b []byte) error {
+	s.mu.Lock()
+	f := s.f
+	s.mu.Unlock()
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// CloseUnderLock closes a displaced handle inside the critical section,
+// which the writer-map swap requires. Passes.
+func (s *store) CloseUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+func (s *store) flush() error { return s.f.Sync() }
+
+// BadIndirect reaches the disk through a module callee while locked:
+// the fileIO fact flags the call site.
+func (s *store) BadIndirect() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want `flush, which does File\.Sync while s\.mu is held`
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// funcBodies visits every function declaration with a body in the pass.
+func funcBodies(pass *analysis.Pass, fn func(*ast.FuncDecl)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// calleeFunc resolves the static callee of a call: a package-level
+// function or a method named through a concrete selector. Calls through
+// interfaces, function values and builtins return nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call statically invokes a package-level
+// function of pkgPath named one of names.
+func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isMethodCall reports whether call statically invokes a method named
+// name whose receiver's (pointer-stripped) type is recvPkg.recvType.
+func isMethodCall(pass *analysis.Pass, call *ast.CallExpr, recvPkg, recvType, name string) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == recvPkg && named.Obj().Name() == recvType
+}
+
+// exprString renders a (selector/identifier) expression compactly, for
+// naming mutexes and variables in diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expr"
+	}
+}
+
+// hasDirective reports whether the doc comment carries the given
+// //remp: directive (e.g. "remp:hotpath").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// underlyingBasic returns the basic kind of t's underlying type, or
+// types.Invalid when t is not basic.
+func underlyingBasic(t types.Type) types.BasicKind {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+// isUnnamedBasic reports whether t is the predeclared basic type of the
+// given kind (not a defined type over it — defined index types are a
+// deliberate choice the analyzers respect).
+func isUnnamedBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == kind
+}

@@ -48,8 +48,8 @@ type Engine struct {
 	dist []Ball
 	rev  [][]int32
 
-	dirty map[int]struct{} // source indexes queued for recompute
-	full  bool             // pending whole-graph rebuild
+	dirty map[int32]struct{} // source indexes queued for recompute
+	full  bool               // pending whole-graph rebuild
 
 	recomputes atomic.Int64 // single-source Dijkstra runs, for tests/benchmarks
 }
@@ -61,7 +61,7 @@ func NewEngine(pg *ProbGraph, tau float64) *Engine {
 		pg:    pg,
 		tau:   tau,
 		zeta:  zetaOf(tau),
-		dirty: make(map[int]struct{}),
+		dirty: make(map[int32]struct{}),
 		full:  true,
 	}
 	e.Sync()
@@ -162,9 +162,9 @@ func (e *Engine) markBallDirty(i int) {
 	if e.full {
 		return
 	}
-	e.dirty[i] = struct{}{}
+	e.dirty[int32(i)] = struct{}{}
 	for _, q := range e.rev[i] {
-		e.dirty[int(q)] = struct{}{}
+		e.dirty[q] = struct{}{}
 	}
 }
 
@@ -192,7 +192,7 @@ func (e *Engine) Sync() {
 	}
 	srcs := make([]int, 0, len(e.dirty))
 	for i := range e.dirty {
-		srcs = append(srcs, i)
+		srcs = append(srcs, int(i))
 	}
 	slices.Sort(srcs)
 	// Drop the dirty sources from every reverse row their stale balls
@@ -209,7 +209,7 @@ func (e *Engine) Sync() {
 	for _, j := range touched {
 		keep := e.rev[j][:0]
 		for _, s := range e.rev[j] {
-			if _, isDirty := e.dirty[int(s)]; !isDirty {
+			if _, isDirty := e.dirty[s]; !isDirty {
 				keep = append(keep, s)
 			}
 		}

@@ -26,6 +26,8 @@ type BallEntry struct {
 type Ball []BallEntry
 
 // Get returns dist(q, j) and whether j is in the ball.
+//
+//remp:hotpath
 func (b Ball) Get(j int) (float64, bool) {
 	k, ok := slices.BinarySearchFunc(b, int32(j), func(e BallEntry, target int32) int {
 		return int(e.Idx - target)
@@ -266,6 +268,8 @@ func (pg *ProbGraph) InferFrom(q pair.Pair, tau float64) Ball {
 // visited set; relaxations walk the CSR row with precomputed −log lengths
 // (removed slots carry +Inf and fall to the ζ test the loop already
 // performs). The only allocation is the returned Ball.
+//
+//remp:hotpath
 func (pg *ProbGraph) inferFromIndex(src int, zeta float64, sc *scratch) Ball {
 	sc.begin()
 	sc.reach(int32(src), 0)

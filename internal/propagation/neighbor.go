@@ -8,6 +8,7 @@ package propagation
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/pair"
 )
@@ -129,15 +130,20 @@ type cell struct {
 
 // partition sums ∏ w over injective partial matchings that avoid banRow
 // and the columns in banMask. DP over rows with a map from used-column
-// masks to accumulated weight.
+// masks to accumulated weight. Masks are visited in sorted order, never
+// map order: float accumulation order decides the rounding, and the
+// partition function must round identically on every run for results to
+// stay byte-identical.
 func partition(byRow [][]cell, banRow int, banMask uint32) float64 {
 	states := map[uint32]float64{banMask: 1}
+	masks := []uint32{banMask}
 	for r := range byRow {
 		if r == banRow || len(byRow[r]) == 0 {
 			continue
 		}
 		next := make(map[uint32]float64, len(states)*2)
-		for mask, acc := range states {
+		for _, mask := range masks {
+			acc := states[mask]
 			// Row unmatched.
 			next[mask] += acc
 			// Row matched to an unused column.
@@ -149,10 +155,15 @@ func partition(byRow [][]cell, banRow int, banMask uint32) float64 {
 			}
 		}
 		states = next
+		masks = masks[:0]
+		for mask := range next {
+			masks = append(masks, mask)
+		}
+		slices.Sort(masks)
 	}
 	total := 0.0
-	for _, acc := range states {
-		total += acc
+	for _, mask := range masks {
+		total += states[mask]
 	}
 	return total
 }
@@ -162,8 +173,9 @@ func partition(byRow [][]cell, banRow int, banMask uint32) float64 {
 // candidates in its own row and column (exact when that sub-graph is a
 // star): Pr[p] ≈ w_p / (1 + Σ_{q ∈ row(p) ∪ col(p)} w_q).
 func approxPosteriors(cands []CandidatePair, weights []float64) []float64 {
-	rowSum := map[int]float64{}
-	colSum := map[int]float64{}
+	rows, cols := dimensions(cands)
+	rowSum := make([]float64, rows)
+	colSum := make([]float64, cols)
 	for i, c := range cands {
 		rowSum[c.Row] += weights[i]
 		colSum[c.Col] += weights[i]

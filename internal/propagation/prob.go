@@ -257,6 +257,8 @@ func (pg *ProbGraph) Graph() *ergraph.Graph { return pg.g }
 
 // slot binary-searches row i for column j, returning the out-CSR position
 // or -1 when the row never had the edge.
+//
+//remp:hotpath
 func (pg *ProbGraph) slot(i, j int) int32 {
 	lo, hi := pg.rowStart[i], pg.rowStart[i+1]
 	for lo < hi {
@@ -275,6 +277,8 @@ func (pg *ProbGraph) slot(i, j int) int32 {
 
 // probAt returns Pr[m_j | m_i] by dense index, or 0 when the edge is
 // absent or was removed.
+//
+//remp:hotpath
 func (pg *ProbGraph) probAt(i, j int) float64 {
 	if e := pg.slot(i, j); e >= 0 {
 		return pg.prob[e]
@@ -346,6 +350,8 @@ func (pg *ProbGraph) setProbAt(i, j int, p float64) {
 
 // detachAt removes every live edge incident to vertex i — CSR slots are
 // zeroed in place through both mirrors, overlay edges are deleted.
+//
+//remp:hotpath
 func (pg *ProbGraph) detachAt(i int) {
 	for e := pg.rowStart[i]; e < pg.rowStart[i+1]; e++ {
 		if pg.prob[e] > 0 {

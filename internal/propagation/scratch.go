@@ -42,6 +42,8 @@ func putScratch(sc *scratch) { scratchPool.Put(sc) }
 // begin opens a new run: bumping the epoch invalidates every stamp in
 // O(1). On the (once per 4 billion runs) wraparound the stamps are zeroed
 // so stale entries from the previous cycle cannot alias as valid.
+//
+//remp:hotpath
 func (sc *scratch) begin() {
 	sc.epoch++
 	if sc.epoch == 0 {
@@ -53,9 +55,13 @@ func (sc *scratch) begin() {
 }
 
 // visited reports whether v was reached this run.
+//
+//remp:hotpath
 func (sc *scratch) visited(v int32) bool { return sc.stamp[v] == sc.epoch }
 
 // reach records the first arrival at v with distance d.
+//
+//remp:hotpath
 func (sc *scratch) reach(v int32, d float64) {
 	sc.stamp[v] = sc.epoch
 	sc.dist[v] = d
@@ -63,6 +69,8 @@ func (sc *scratch) reach(v int32, d float64) {
 }
 
 // push inserts a heap entry, sifting up through the 4-ary layout.
+//
+//remp:hotpath
 func (sc *scratch) push(e heapEntry) {
 	h := append(sc.heap, e)
 	i := len(h) - 1
@@ -78,6 +86,8 @@ func (sc *scratch) push(e heapEntry) {
 }
 
 // pop removes and returns the minimum-distance entry.
+//
+//remp:hotpath
 func (sc *scratch) pop() heapEntry {
 	h := sc.heap
 	top := h[0]

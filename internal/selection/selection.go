@@ -64,7 +64,8 @@ type benefitState struct {
 	bp      []float64
 	stamp   []uint32
 	epoch   uint32
-	touched []int32 // vertices with a live bp entry, in first-touch order
+	touched []int32  // vertices with a live bp entry, in first-touch order
+	pq      gainHeap // lazy-greedy priority queue, reused across calls
 }
 
 var benefitPool = sync.Pool{New: func() any { return &benefitState{} }}
@@ -83,6 +84,7 @@ func getBenefitState(n int) *benefitState {
 		s.epoch = 1
 	}
 	s.touched = s.touched[:0]
+	s.pq = s.pq[:0]
 	return s
 }
 
@@ -102,6 +104,7 @@ func maxVertexIndex(cands []Candidate) int {
 	return n
 }
 
+//remp:hotpath
 func (s *benefitState) at(p int) float64 {
 	if s.stamp[p] == s.epoch {
 		return s.bp[p]
@@ -109,6 +112,7 @@ func (s *benefitState) at(p int) float64 {
 	return 0
 }
 
+//remp:hotpath
 func (s *benefitState) gain(c Candidate) float64 {
 	g := 0.0
 	for _, p := range c.Inferred {
@@ -117,6 +121,7 @@ func (s *benefitState) gain(c Candidate) float64 {
 	return g
 }
 
+//remp:hotpath
 func (s *benefitState) add(c Candidate) {
 	for _, p := range c.Inferred {
 		b := s.at(p)
@@ -140,7 +145,11 @@ func (g Greedy) Select(cands []Candidate, mu int) []int {
 }
 
 // SelectRanked implements Ranked: the lazy greedy of Select, returning the
-// marginal benefit each question was committed at.
+// marginal benefit each question was committed at. The only allocation in
+// the steady state is the returned picks: the priority queue lives in the
+// pooled benefit state and amortizes across calls like bp/stamp do.
+//
+//remp:hotpath
 func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 	if mu <= 0 || len(cands) == 0 {
 		return nil
@@ -149,7 +158,7 @@ func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 	defer putBenefitState(state)
 	// Priority queue of (index, cached gain); lazy evaluation re-checks the
 	// top element against the current state before committing.
-	pq := make(gainHeap, 0, len(cands))
+	pq := state.pq
 	for i, c := range cands {
 		pq = append(pq, gainItem{idx: int32(i), gain: state.gain(c)})
 	}
@@ -174,6 +183,7 @@ func (Greedy) SelectRanked(cands []Candidate, mu int) []Pick {
 		state.add(cands[item.idx])
 		out = append(out, Pick{Index: int(item.idx), Score: fresh})
 	}
+	state.pq = pq // hand any growth back to the pooled state
 	return out
 }
 
@@ -262,6 +272,8 @@ type gainItem struct {
 type gainHeap []gainItem
 
 // before reports whether a outranks b.
+//
+//remp:hotpath
 func (gainHeap) before(a, b gainItem) bool {
 	if a.gain != b.gain {
 		return a.gain > b.gain
@@ -269,12 +281,14 @@ func (gainHeap) before(a, b gainItem) bool {
 	return a.idx < b.idx
 }
 
+//remp:hotpath
 func (h gainHeap) init() {
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
 }
 
+//remp:hotpath
 func (h *gainHeap) push(x gainItem) {
 	*h = append(*h, x)
 	s := *h
@@ -289,6 +303,7 @@ func (h *gainHeap) push(x gainItem) {
 	}
 }
 
+//remp:hotpath
 func (h *gainHeap) popMin() gainItem {
 	s := *h
 	top := s[0]
@@ -299,6 +314,7 @@ func (h *gainHeap) popMin() gainItem {
 	return top
 }
 
+//remp:hotpath
 func (h gainHeap) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
