@@ -89,6 +89,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline BENCH json to gate against")
 	outPath := flag.String("out", "BENCH_remp.json", "output path")
 	maxRegression := flag.Float64("max-regression", 0.25, "maximum allowed relative slowdown vs baseline")
+	maxP99Ratio := flag.Float64("max-p99-ratio", 5.0, "maximum allowed loadgen p99 latency ratio vs baseline (per operation; applies only when both reports carry latency data)")
 	flag.Parse()
 
 	if *benchPath == "" {
@@ -182,6 +183,10 @@ func main() {
 			fmt.Printf("benchreport: load test green: %d sessions, %.0f answers/s, %d retries\n",
 				lt.Sessions, lt.AnswersPerSec, lt.Retries)
 		}
+		for op, ls := range lt.Latency {
+			fmt.Printf("benchreport: load test %-7s p50 %.2fms p95 %.2fms p99 %.2fms (n=%d)\n",
+				op, ls.P50Ms, ls.P95Ms, ls.P99Ms, ls.Count)
+		}
 	}
 	if report.Scalability != nil {
 		for _, pt := range report.Scalability.Points {
@@ -192,7 +197,11 @@ func main() {
 		}
 	}
 	if *baselinePath != "" {
-		if gate(report, *baselinePath, *maxRegression) {
+		base := readBaseline(*baselinePath)
+		if gate(report, base, *baselinePath, *maxRegression) {
+			failed = true
+		}
+		if gateLatency(report, base, *maxP99Ratio) {
 			failed = true
 		}
 	}
@@ -207,15 +216,19 @@ func main() {
 // the gate should fail the build. Benchmarks or baselines without a
 // metric (value ≤ 0, e.g. a pre-allocation-columns baseline) are skipped
 // for that metric only.
-func gate(report *Report, baselinePath string, maxRegression float64) bool {
-	data, err := os.ReadFile(baselinePath)
+func readBaseline(path string) *Report {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("benchreport: %v", err)
 	}
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
-		fatalf("benchreport: parsing %s: %v", baselinePath, err)
+		fatalf("benchreport: parsing %s: %v", path, err)
 	}
+	return &base
+}
+
+func gate(report, base *Report, baselinePath string, maxRegression float64) bool {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -284,6 +297,38 @@ func gate(report *Report, baselinePath string, maxRegression float64) bool {
 		} else {
 			fmt.Printf("benchreport: %s gate green vs %s (%d benchmarks, median ratio %.3f)\n", metric.key, baselinePath, len(shared), median)
 		}
+	}
+	return failed
+}
+
+// gateLatency compares loadgen client-side p99 latency per operation
+// against the baseline. It engages only when both the current report and
+// the baseline carry latency data (so pre-latency baselines never trip
+// it) and uses a generous ratio rather than a percentage: client p99 on
+// a shared CI runner is noisy, and this gate exists to catch order-of-
+// magnitude collapses (a lock convoy, an accidental fsync per request),
+// not small drifts — those are the benchmark gate's job.
+func gateLatency(report, base *Report, maxP99Ratio float64) bool {
+	if report.LoadTest == nil || base.LoadTest == nil ||
+		len(report.LoadTest.Latency) == 0 || len(base.LoadTest.Latency) == 0 {
+		return false
+	}
+	failed := false
+	for op, cur := range report.LoadTest.Latency {
+		old, ok := base.LoadTest.Latency[op]
+		if !ok || old.P99Ms <= 0 || cur.Count == 0 {
+			continue
+		}
+		ratio := cur.P99Ms / old.P99Ms
+		status := "ok"
+		if ratio > maxP99Ratio {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchreport: p99        %-55s %.2fms vs %.2fms (ratio %.2f) %s\n", op, cur.P99Ms, old.P99Ms, ratio, status)
+	}
+	if failed {
+		fmt.Printf("benchreport: FAIL loadgen p99 latency regressed more than %.1fx vs baseline\n", maxP99Ratio)
 	}
 	return failed
 }

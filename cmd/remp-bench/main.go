@@ -10,11 +10,14 @@
 //	remp-bench -experiment table6 -seed 7
 //	remp-bench -experiment shards -json shards.json
 //	remp-bench -experiment shards -cpuprofile cpu.pprof -memprofile mem.pprof
+//	remp-bench -experiment shards -trace trace.out
 //
 // The -cpuprofile / -memprofile flags write pprof profiles covering the
 // experiment run, so a hot-path regression flagged by the CI bench gate
 // can be diagnosed straight from an uploaded artifact (`go tool pprof`)
-// without reproducing the run locally.
+// without reproducing the run locally. -trace captures a runtime
+// execution trace of the same window for `go tool trace` — scheduling,
+// GC pauses and the shard fan-out are all visible there.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/experiments"
@@ -36,6 +40,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards experiment only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the experiment run to this file")
+	tracePath := flag.String("trace", "", "write a runtime execution trace of the experiment run to this file")
 	flag.Parse()
 
 	if *list {
@@ -89,6 +94,18 @@ func main() {
 			fatalf("remp-bench: starting CPU profile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("remp-bench: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fatalf("remp-bench: starting execution trace: %v", err)
+		}
+		defer trace.Stop()
 	}
 
 	start := time.Now()

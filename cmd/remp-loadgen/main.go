@@ -85,6 +85,12 @@ func main() {
 	fmt.Printf("loadgen: %d/%d sessions completed, %d answers (%.0f/s), %d rejected, %d retries, oracle match: %v\n",
 		report.Completed, report.Sessions, report.Answers, report.AnswersPerSec,
 		report.Rejected, report.Retries, report.ResultsMatch)
+	for _, op := range []string{"create", "batch", "answers", "result"} {
+		if ls, ok := report.Latency[op]; ok {
+			fmt.Printf("loadgen: %-7s p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  (n=%d)\n",
+				op, ls.P50Ms, ls.P95Ms, ls.P99Ms, ls.MaxMs, ls.Count)
+		}
+	}
 	for _, o := range report.Outcomes {
 		if o.Error != "" {
 			log.Printf("session %s failed: %s", o.ID, o.Error)

@@ -15,6 +15,13 @@
 // in-flight requests drain (new ones are refused with 503), every
 // session's snapshot is flushed and the store is closed.
 //
+// -debug-addr serves net/http/pprof (and expvar) on a second listener,
+// kept off the public address so profiling endpoints are never exposed
+// with the API:
+//
+//	remp-server -addr :8080 -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // Create a session on a built-in dataset and answer its first question:
 //
 //	curl -s localhost:8080/v1/sessions -d '{"dataset":"iimb","seed":1,"options":{"mu":10}}'
@@ -23,7 +30,9 @@
 //	     -d '{"answers":[{"id":"3-7","labels":[{"worker":0,"quality":0.97,"match":true}]}]}'
 //	curl -s localhost:8080/v1/sessions/s1/result
 //
-// See the package comment of internal/server for the full endpoint list.
+// Telemetry is on GET /metrics (Prometheus text; ?format=json for a
+// JSON snapshot), liveness on /healthz, readiness on /readyz. See the
+// package comment of internal/server for the full endpoint list.
 package main
 
 import (
@@ -31,7 +40,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the debug listener's DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,17 +56,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("remp-server: ")
 	addr := flag.String("addr", ":8080", "listen address")
-	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address for net/http/pprof and expvar (e.g. localhost:6060)")
+	quiet := flag.Bool("quiet", false, "log warnings and errors only")
 	shards := flag.Int("shards", 0, "default shard count for sessions that do not specify one (0 = auto, 1 = monolithic)")
 	storeKind := flag.String("store", "mem", "session store backend: mem (in-memory) or disk (crash-safe WAL + snapshots)")
 	dataDir := flag.String("data-dir", "remp-data", "session store directory (with -store disk)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
-	logf := log.Printf
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelWarn
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	var store session.Store
 	switch *storeKind {
 	case "mem":
@@ -65,22 +79,35 @@ func main() {
 			log.Fatal(err)
 		}
 		store = ds
-		log.Printf("disk store at %s", *dataDir)
 	default:
 		log.Fatalf("unknown -store %q (want mem or disk)", *storeKind)
 	}
 
-	srv, _, err := server.NewServer(server.Config{Logf: logf, Store: store, DefaultShards: *shards})
+	srv, recovered, err := server.NewServer(server.Config{Logger: logger, Store: store, DefaultShards: *shards})
 	if err != nil {
 		// Recovery errors are non-fatal: the sessions that recovered are
 		// serving; the broken ones are reported and skipped.
-		log.Printf("recovery: %v", err)
+		logger.Warn("recovery", "err", err)
+	}
+	logger.Info("starting",
+		"addr", *addr, "store", *storeKind, "data_dir", *dataDir, "default_shards", *shards,
+		"sessions_recovered", len(recovered), "wal_replayed", srv.WALReplayed())
+
+	if *debugAddr != "" {
+		// pprof registers itself on http.DefaultServeMux; serving that mux
+		// on a separate listener keeps profiling off the public API port.
+		go func() {
+			logger.Info("debug listener (pprof, expvar)", "addr", *debugAddr)
+			if derr := http.ListenAndServe(*debugAddr, nil); derr != nil {
+				logger.Warn("debug listener", "err", derr)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -90,7 +117,7 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case sig := <-sigc:
-		log.Printf("received %s, draining", sig)
+		logger.Info("draining on signal", "signal", sig.String())
 	}
 
 	// Drain the application first, over the live listener: the gate
@@ -105,10 +132,10 @@ func main() {
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancelHTTP()
 	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if storeErr != nil {
 		log.Fatalf("store shutdown: %v", storeErr)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

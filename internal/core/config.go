@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/crowd"
+	"repro/internal/obs"
 	"repro/internal/pair"
 	"repro/internal/selection"
 )
@@ -77,6 +78,12 @@ type Config struct {
 	// oversubscribe the machine. Nil selects a process-wide default sized
 	// at GOMAXPROCS.
 	Sched *Scheduler
+	// Obs carries the instrumentation hooks threaded through the
+	// pipeline: per-stage loop timings (through its injected monotonic
+	// clock — core itself never reads the wall clock, preserving
+	// determinism) and engine/loop counters. Nil disables
+	// instrumentation; every hook is nil-safe and allocation-free.
+	Obs *obs.Pipeline
 	// debugFullResync degrades the incremental propagation engine to a
 	// full rebuild at the top of every loop — the historical recompute
 	// policy — so tests can assert the incremental results are identical.

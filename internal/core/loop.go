@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/crowd"
+	"repro/internal/obs"
 	"repro/internal/pair"
 	"repro/internal/propagation"
 	"repro/internal/selection"
@@ -138,13 +139,19 @@ func (p *Prepared) NewLoop() *Loop {
 		l.priors[k] = v
 	}
 	l.shards = make([]*loopShard, len(p.pipes))
+	// The initial engine builds are the first propagation work of the
+	// session; their Dijkstra fan-out lands in the infer stage and the
+	// shared engine counters.
+	t0 := p.Cfg.Obs.StageStart()
+	engCounters := p.Cfg.Obs.EngineCounters()
 	p.Cfg.scheduler().ForEach(len(p.pipes), func(s int) {
 		l.shards[s] = &loopShard{
 			pipe:  p.pipes[s],
-			eng:   propagation.NewEngine(p.pipes[s].prob, p.Cfg.Tau),
+			eng:   propagation.NewEngineObs(p.pipes[s].prob, p.Cfg.Tau, engCounters),
 			dirty: true,
 		}
 	})
+	p.Cfg.Obs.StageEnd(obs.StageInfer, t0)
 	l.openBatch()
 	return l
 }
@@ -285,6 +292,9 @@ func (l *Loop) drain() {
 // batch body of Run.
 func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
 	cfg := l.p.Cfg
+	t0 := cfg.Obs.StageStart()
+	defer cfg.Obs.StageEnd(obs.StageApply, t0)
+	cfg.Obs.AddQuestion()
 	l.history = append(l.history, Answer{Pair: q, Labels: labels})
 	l.res.Questions++
 	l.touch(q)
@@ -312,11 +322,15 @@ func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
 // the next batch.
 func (l *Loop) batchTail() {
 	cfg := l.p.Cfg
-	if cfg.Hybrid {
-		l.monotoneInference()
-	}
-	if cfg.Reestimate && l.res.Confirmed.Len() > 0 {
-		l.reestimate()
+	if cfg.Hybrid || (cfg.Reestimate && l.res.Confirmed.Len() > 0) {
+		t0 := cfg.Obs.StageStart()
+		if cfg.Hybrid {
+			l.monotoneInference()
+		}
+		if cfg.Reestimate && l.res.Confirmed.Len() > 0 {
+			l.reestimate()
+		}
+		cfg.Obs.StageEnd(obs.StageReestimate, t0)
 	}
 	if cfg.Budget > 0 && l.res.Questions >= cfg.Budget {
 		l.finish()
@@ -396,6 +410,9 @@ func (l *Loop) openBatch() {
 			dirty = append(dirty, s)
 		}
 	}
+	// The engine Syncs plus candidate gathers are the loop's propagation
+	// phase; everything from the merge to the padded batch is selection.
+	tInfer := cfg.Obs.StageStart()
 	sched.ForEach(len(dirty), func(k int) {
 		sh := l.shards[dirty[k]]
 		sh.eng.Sync()
@@ -403,6 +420,8 @@ func (l *Loop) openBatch() {
 		sh.picks = nil
 		sh.dirty = false
 	})
+	cfg.Obs.StageEnd(obs.StageInfer, tInfer)
+	tSelect := cfg.Obs.StageStart()
 	perShard := make([][]selection.Candidate, len(active))
 	anyPropagation := false
 	for k, s := range active {
@@ -411,6 +430,7 @@ func (l *Loop) openBatch() {
 	}
 	cands, pos := mergeCandidates(perShard)
 	if len(cands) == 0 || (!anyPropagation && !cfg.ExhaustBudget) {
+		cfg.Obs.StageEnd(obs.StageSelect, tSelect)
 		l.finish()
 		return
 	}
@@ -418,6 +438,7 @@ func (l *Loop) openBatch() {
 	if cfg.Budget > 0 && l.res.Questions+mu > cfg.Budget {
 		mu = cfg.Budget - l.res.Questions
 		if mu <= 0 {
+			cfg.Obs.StageEnd(obs.StageSelect, tSelect)
 			l.finish()
 			return
 		}
@@ -429,10 +450,12 @@ func (l *Loop) openBatch() {
 		// candidates once marginal benefits hit zero.
 		chosen = padBatch(cands, chosen, mu)
 	}
+	cfg.Obs.StageEnd(obs.StageSelect, tSelect)
 	if len(chosen) == 0 {
 		l.finish()
 		return
 	}
+	cfg.Obs.AddBatch()
 	l.res.Loops++
 	l.open = make([]pair.Pair, len(chosen))
 	for i, ci := range chosen {

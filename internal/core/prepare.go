@@ -6,6 +6,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/ergraph"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/pair"
 	"repro/internal/partition"
 	"repro/internal/propagation"
@@ -67,6 +68,8 @@ func Prepare(k1, k2 *kb.KB, cfg Config) *Prepared {
 		// the caller before ever reaching Prepare.
 		panic(err)
 	}
+	t0 := cfg.Obs.StageStart()
+	defer cfg.Obs.StageEnd(obs.StagePrepare, t0)
 	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
 
 	p.Blocking = blocking.Generate(k1, k2, blocking.Options{Threshold: cfg.LabelSimThreshold})
@@ -110,6 +113,8 @@ func PrepareOnRetained(k1, k2 *kb.KB, cfg Config, retained []pair.Pair, blk *blo
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	t0 := cfg.Obs.StageStart()
+	defer cfg.Obs.StageEnd(obs.StagePrepare, t0)
 	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
 	p.Blocking = blk
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/pair"
 	"repro/internal/selection"
 	"repro/internal/simvec"
@@ -28,13 +29,17 @@ type ScalePoint struct {
 // monolithic run, and whether the resolved pairs matched the monolithic
 // reference exactly.
 type ShardPoint struct {
-	Shards     int     `json:"shards"`
-	PrepareNS  int64   `json:"prepare_ns"`
-	LoopNS     int64   `json:"loop_ns"`
-	Speedup    float64 `json:"speedup"`
-	Questions  int     `json:"questions"`
-	F1         float64 `json:"f1"`
-	Equivalent bool    `json:"equivalent"`
+	Shards    int     `json:"shards"`
+	PrepareNS int64   `json:"prepare_ns"`
+	LoopNS    int64   `json:"loop_ns"`
+	Speedup   float64 `json:"speedup"`
+	Questions int     `json:"questions"`
+	F1        float64 `json:"f1"`
+	// Stages breaks LoopNS down by pipeline stage (prepare, infer,
+	// select, apply, reestimate → cumulative nanoseconds), measured by
+	// the same obs.LoopTrace the server exports on /metrics.
+	Stages     map[string]int64 `json:"stage_ns,omitempty"`
+	Equivalent bool             `json:"equivalent"`
 }
 
 // ShardReport is the machine-readable result of the shard scalability
@@ -70,6 +75,8 @@ func shardScalability(w io.Writer, seed int64, clusters, meanSize int) *ShardRep
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.Shards = shards
+		tr := obs.NewLoopTrace(obs.WallClock())
+		cfg.Obs = &obs.Pipeline{Trace: tr}
 		start := time.Now()
 		p := core.Prepare(ds.K1, ds.K2, cfg)
 		prep := time.Since(start)
@@ -103,7 +110,8 @@ func shardScalability(w io.Writer, seed int64, clusters, meanSize int) *ShardRep
 			shards, prep.Round(time.Millisecond), loop.Round(time.Millisecond), speedup, res.Questions, prf.F1, equivalent)
 		report.Points = append(report.Points, ShardPoint{
 			Shards: shards, PrepareNS: prep.Nanoseconds(), LoopNS: loop.Nanoseconds(),
-			Speedup: speedup, Questions: res.Questions, F1: prf.F1, Equivalent: equivalent,
+			Speedup: speedup, Questions: res.Questions, F1: prf.F1,
+			Stages: tr.Totals(), Equivalent: equivalent,
 		})
 	}
 	return report

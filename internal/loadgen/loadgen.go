@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -96,6 +98,18 @@ type SessionOutcome struct {
 	Error string `json:"error,omitempty"`
 }
 
+// LatencyStats summarizes the client-observed latency of one API
+// operation across the whole run: create, batch, answers, result.
+// Samples are wall time around the retrying call, so a killed-and-
+// restarted server shows up as a fat tail here, not as missing data.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
 // Oracle summarizes the synchronous remp.Resolve reference run.
 type Oracle struct {
 	Matches   int `json:"matches"`
@@ -106,17 +120,20 @@ type Oracle struct {
 // Report is the run summary, written as JSON by cmd/remp-loadgen and
 // folded into BENCH_remp.json by cmd/benchreport.
 type Report struct {
-	Dataset         string           `json:"dataset"`
-	Sessions        int              `json:"sessions"`
-	Completed       int              `json:"completed"`
-	ResultsMatch    bool             `json:"results_match"`
-	Answers         int64            `json:"answers"`
-	Rejected        int64            `json:"rejected"`
-	Retries         int64            `json:"retries"`
-	DurationSeconds float64          `json:"duration_seconds"`
-	AnswersPerSec   float64          `json:"answers_per_second"`
-	Oracle          Oracle           `json:"oracle"`
-	Outcomes        []SessionOutcome `json:"outcomes"`
+	Dataset         string  `json:"dataset"`
+	Sessions        int     `json:"sessions"`
+	Completed       int     `json:"completed"`
+	ResultsMatch    bool    `json:"results_match"`
+	Answers         int64   `json:"answers"`
+	Rejected        int64   `json:"rejected"`
+	Retries         int64   `json:"retries"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	AnswersPerSec   float64 `json:"answers_per_second"`
+	Oracle          Oracle  `json:"oracle"`
+	// Latency holds client-side percentiles per operation, keyed by
+	// "create" / "batch" / "answers" / "result".
+	Latency  map[string]LatencyStats `json:"latency,omitempty"`
+	Outcomes []SessionOutcome        `json:"outcomes"`
 }
 
 // runner is the shared state of one load run.
@@ -129,6 +146,64 @@ type runner struct {
 	answers  atomic.Int64
 	rejected atomic.Int64
 	retries  atomic.Int64
+
+	latMu sync.Mutex
+	lat   map[string][]float64 // op → latency samples, milliseconds
+}
+
+// observe records one successful operation's client-observed latency.
+func (r *runner) observe(op string, d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	r.latMu.Lock()
+	r.lat[op] = append(r.lat[op], ms)
+	r.latMu.Unlock()
+}
+
+// timed wraps retry with a latency sample per successful call.
+func timed[T any](r *runner, op string, f func() (T, error)) (T, error) {
+	t0 := time.Now()
+	v, err := retry(r, f)
+	if err == nil {
+		r.observe(op, time.Since(t0))
+	}
+	return v, err
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of ascending samples
+// by the nearest-rank method — p99 of 100 samples is the 99th.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// latencyStats folds the collected samples into per-op percentiles.
+func (r *runner) latencyStats() map[string]LatencyStats {
+	r.latMu.Lock()
+	defer r.latMu.Unlock()
+	if len(r.lat) == 0 {
+		return nil
+	}
+	out := make(map[string]LatencyStats, len(r.lat))
+	for op, samples := range r.lat {
+		sort.Float64s(samples)
+		out[op] = LatencyStats{
+			Count: len(samples),
+			P50Ms: percentile(samples, 0.50),
+			P95Ms: percentile(samples, 0.95),
+			P99Ms: percentile(samples, 0.99),
+			MaxMs: samples[len(samples)-1],
+		}
+	}
+	return out
 }
 
 // Run executes one load run. It returns an error only when the harness
@@ -157,7 +232,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &runner{cfg: cfg, ds: ds}
+	r := &runner{cfg: cfg, ds: ds, lat: make(map[string][]float64)}
 	if cfg.Deadline > 0 {
 		r.deadline = time.Now().Add(cfg.Deadline)
 	}
@@ -200,6 +275,7 @@ func Run(cfg Config) (*Report, error) {
 		Retries:         r.retries.Load(),
 		DurationSeconds: dur.Seconds(),
 		Oracle:          r.oraclePR,
+		Latency:         r.latencyStats(),
 		Outcomes:        outcomes,
 	}
 	if dur > 0 {
@@ -299,7 +375,7 @@ func (r *runner) drive(i int) SessionOutcome {
 	// The client ref makes the create idempotent: a retried create whose
 	// first attempt was acknowledged server-side but lost to a crash
 	// returns the same session instead of spawning an orphan.
-	info, err := retry(r, func() (*server.SessionInfo, error) {
+	info, err := timed(r, "create", func() (*server.SessionInfo, error) {
 		return client.CreateSession(server.CreateRequest{
 			Dataset:   cfg.Dataset,
 			Seed:      cfg.DatasetSeed,
@@ -322,7 +398,7 @@ func (r *runner) drive(i int) SessionOutcome {
 			// Every open question is reserved by a sibling session; poll
 			// until their answers land in the shared cache.
 			time.Sleep(cfg.PollInterval)
-			info, err = retry(r, func() (*server.SessionInfo, error) { return client.Batch(out.ID) })
+			info, err = timed(r, "batch", func() (*server.SessionInfo, error) { return client.Batch(out.ID) })
 			if err != nil {
 				out.Error = fmt.Sprintf("batch: %v", err)
 				return out
@@ -341,7 +417,7 @@ func (r *runner) drive(i int) SessionOutcome {
 				return out
 			}
 			answer := server.AnswerDTO{ID: q.ID, Labels: r.labels(p)}
-			resp, err := retry(r, func() (*server.AnswersResponse, error) {
+			resp, err := timed(r, "answers", func() (*server.AnswersResponse, error) {
 				return client.PostAnswers(out.ID, []server.AnswerDTO{answer})
 			})
 			if err != nil {
@@ -362,7 +438,7 @@ func (r *runner) drive(i int) SessionOutcome {
 		}
 	}
 
-	res, err := retry(r, func() (*server.ResultDTO, error) { return client.Result(out.ID) })
+	res, err := timed(r, "result", func() (*server.ResultDTO, error) { return client.Result(out.ID) })
 	if err != nil {
 		out.Error = fmt.Sprintf("result: %v", err)
 		return out

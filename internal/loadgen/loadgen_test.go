@@ -62,6 +62,16 @@ func TestLoadgenOracleEquivalence(t *testing.T) {
 			if report.Answers == 0 {
 				t.Fatal("no answers were posted")
 			}
+			// Every session creates, polls, answers and fetches a result,
+			// so all four operations must carry latency percentiles.
+			for _, op := range []string{"create", "batch", "answers", "result"} {
+				ls, ok := report.Latency[op]
+				if !ok || ls.Count == 0 {
+					t.Errorf("no latency samples for %q: %+v", op, report.Latency)
+				} else if ls.P50Ms <= 0 || ls.P99Ms < ls.P50Ms || ls.MaxMs < ls.P99Ms {
+					t.Errorf("inconsistent %q percentiles: %+v", op, ls)
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,32 @@
+// Package obs is the repo's zero-dependency observability layer:
+// allocation-free metrics (atomic counters, gauges, fixed-bucket
+// histograms), a Prometheus-text-format/JSON registry, an injectable
+// monotonic clock, and per-stage loop tracing. It is stdlib-only in the
+// spirit of internal/lint/analysis — external modules are unavailable
+// offline — and it is a strict dependency leaf: obs imports nothing
+// from this module, so every package (including the deterministic
+// pipeline packages) can carry its hooks.
+//
+// Two hard constraints shape the design, both enforced by remp-lint:
+//
+// Determinism. The pipeline packages (core, propagation, selection,
+// partition, session) must stay byte-deterministic, so they never read
+// the wall clock. All timing flows through an injected Clock: the
+// non-deterministic boundary (internal/server, cmd, experiments)
+// constructs one via WallClock and threads it in through LoopTrace /
+// Pipeline; a deterministic package only ever calls the opaque
+// function it was handed. time.Now lives in this package alone among
+// the instrumented ones, and obs itself is outside the deterministic
+// set.
+//
+// Hot paths. Functions annotated //remp:hotpath must stay
+// allocation-free with instrumentation enabled. Every mutation on a
+// Counter, Gauge or Histogram is a fixed number of atomic operations —
+// no maps, no interface boxing, no append. Histogram.Observe does a
+// branch-free binary search over pre-sorted bounds and a CAS loop on
+// the float-bit sum; label lookups (CounterVec.With etc.) allocate and
+// lock, so instrumented call sites resolve their children once at
+// registration time and keep the pointers. All metric methods are
+// nil-receiver-safe, so uninstrumented runs (tests, the synchronous
+// Resolve path) pay a nil check and nothing else.
+package obs

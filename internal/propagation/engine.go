@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pair"
 )
 
@@ -52,17 +53,31 @@ type Engine struct {
 	full  bool               // pending whole-graph rebuild
 
 	recomputes atomic.Int64 // single-source Dijkstra runs, for tests/benchmarks
+
+	// c mirrors invalidation/recompute/rebuild events into externally
+	// owned counters (the server's /metrics series). The zero value is
+	// fully unwired: every field is a nil-safe *obs.Counter, so the
+	// increments below cost one nil check when uninstrumented and one
+	// atomic add when wired — never an allocation.
+	c obs.EngineCounters
 }
 
 // NewEngine builds the engine and computes the initial balls with a
 // parallel InferAll. τ must be pre-validated (see zetaOf).
 func NewEngine(pg *ProbGraph, tau float64) *Engine {
+	return NewEngineObs(pg, tau, obs.EngineCounters{})
+}
+
+// NewEngineObs is NewEngine with instrumentation counters attached
+// before the initial build, so the first rebuild is counted too.
+func NewEngineObs(pg *ProbGraph, tau float64, c obs.EngineCounters) *Engine {
 	e := &Engine{
 		pg:    pg,
 		tau:   tau,
 		zeta:  zetaOf(tau),
 		dirty: make(map[int32]struct{}),
 		full:  true,
+		c:     c,
 	}
 	e.Sync()
 	return e
@@ -162,6 +177,7 @@ func (e *Engine) markBallDirty(i int) {
 	if e.full {
 		return
 	}
+	e.c.Invalidations.Add(1)
 	e.dirty[int32(i)] = struct{}{}
 	for _, q := range e.rev[i] {
 		e.dirty[q] = struct{}{}
@@ -218,6 +234,7 @@ func (e *Engine) Sync() {
 	results := make([]Ball, len(srcs))
 	e.pg.inferSources(e.zeta, srcs, results)
 	e.recomputes.Add(int64(len(srcs)))
+	e.c.Recomputes.Add(int64(len(srcs)))
 	for k, i := range srcs {
 		e.dist[i] = results[k]
 		for _, en := range results[k] {
@@ -237,6 +254,8 @@ func (e *Engine) rebuild() {
 	e.dist = e.pg.computeAll(e.zeta)
 	e.rev = buildRev(e.dist, n)
 	e.recomputes.Add(int64(n))
+	e.c.Recomputes.Add(int64(n))
+	e.c.Rebuilds.Add(1)
 }
 
 // Ball returns inferred(q) by dense index (q excluded), ascending in

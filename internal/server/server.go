@@ -16,7 +16,9 @@
 //	GET    /v1/sessions/{id}/snapshot durable session state
 //	POST   /v1/sessions/restore    recreate a session from a snapshot
 //	DELETE /v1/sessions/{id}       forget a session, releasing its questions
-//	GET    /healthz                liveness/readiness (503 while draining)
+//	GET    /healthz                liveness: always 200 with uptime/session/store detail
+//	GET    /readyz                 readiness: 503 once the server begins draining
+//	GET    /metrics                Prometheus text exposition (?format=json for a JSON snapshot)
 //	GET    /debug/vars             expvar counters (remp_server map)
 //
 // Sessions created from the same dataset share a answer cache, so two
@@ -39,6 +41,7 @@ import (
 	"expvar"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -193,6 +196,9 @@ type Server struct {
 	meta          map[string]*sessionMeta
 	refs          map[string]string // CreateRequest.ClientRef → session ID
 	logf          func(format string, args ...any)
+	log           *slog.Logger
+	metrics       *serverMetrics
+	reqID         atomic.Int64
 	defaultShards int
 	storeKind     string
 	draining      atomic.Bool
@@ -207,7 +213,11 @@ type Server struct {
 // Config configures a Server.
 type Config struct {
 	// Logf receives one line per request outcome; nil disables logging.
+	// Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// Logger is the structured logger for request and session events;
+	// when nil, one is derived from Logf (or logging is disabled).
+	Logger *slog.Logger
 	// Store is the session store the server journals into and recovers
 	// from; nil selects the in-memory store (no durability).
 	Store session.Store
@@ -231,9 +241,13 @@ func New(logf func(format string, args ...any)) *Server {
 // session that fails to recover is skipped and reported in the error
 // while the server comes up with the rest.
 func NewServer(cfg Config) (*Server, []string, error) {
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		if cfg.Logf != nil {
+			logger = slog.New(&logfHandler{logf: cfg.Logf})
+		} else {
+			logger = slog.New(discardHandler{})
+		}
 	}
 	store := cfg.Store
 	kind := "disk"
@@ -243,18 +257,28 @@ func NewServer(cfg Config) (*Server, []string, error) {
 	if _, ok := store.(*session.MemStore); ok {
 		kind = "mem"
 	}
+	metrics := newServerMetrics()
+	// The disk store's WAL fsync is timed inside AppendAnswer (the store
+	// never reads the wall clock itself — the monotonic clock is injected
+	// here); the decorator below times the full append and rotation paths.
+	if ds, ok := store.(*session.DiskStore); ok {
+		ds.InstrumentFsync(metrics.clock, metrics.storeFsync)
+	}
+	store = &timedStore{Store: store, clock: metrics.clock, append: metrics.storeAppend, snapshot: metrics.storeSnapshot}
 	s := &Server{
 		meta:          make(map[string]*sessionMeta),
 		refs:          make(map[string]string),
-		logf:          logf,
+		log:           logger,
+		metrics:       metrics,
 		defaultShards: cfg.DefaultShards,
 		storeKind:     kind,
 	}
+	s.logf = func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
 	// Recovery re-prepares each stored session's pipeline from the
 	// CreateRequest persisted as its meta blob; the specs seen along the
 	// way rebuild the server-side metadata map.
 	recoveredMeta := make(map[string]*sessionMeta)
-	mgr, recovered, err := remp.OpenManager(store, func(id string, meta []byte) (remp.Dataset, remp.Options, string, error) {
+	mgr, recovered, err := remp.OpenManagerObs(store, func(id string, meta []byte) (remp.Dataset, remp.Options, string, error) {
 		var req CreateRequest
 		if jerr := json.Unmarshal(meta, &req); jerr != nil {
 			return remp.Dataset{}, remp.Options{}, "", fmt.Errorf("stored spec: %w", jerr)
@@ -265,8 +289,9 @@ func NewServer(cfg Config) (*Server, []string, error) {
 		}
 		recoveredMeta[id] = &sessionMeta{spec: req, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
 		return ds, req.Options.ToOptions(), namespace, nil
-	})
+	}, metrics.pipe)
 	s.mgr = mgr
+	metrics.bindManager(s)
 	for _, id := range recovered {
 		if m := recoveredMeta[id]; m != nil {
 			s.meta[id] = m
@@ -275,15 +300,22 @@ func NewServer(cfg Config) (*Server, []string, error) {
 			}
 		}
 		stats.Add("sessions_recovered", 1)
+		metrics.sessionsRecovered.Inc()
 	}
 	if len(recovered) > 0 {
-		logf("recovered %d sessions from the %s store: %s", len(recovered), kind, strings.Join(recovered, ", "))
+		logger.Info("recovered sessions from store",
+			"store", kind, "count", len(recovered), "wal_replayed", mgr.WALReplayed(),
+			"ids", strings.Join(recovered, ","))
 	}
 	if err != nil {
-		logf("recovery errors: %v", err)
+		logger.Warn("recovery errors", "err", err)
 	}
 	return s, recovered, err
 }
+
+// WALReplayed returns how many WAL records startup recovery replayed on
+// top of session snapshots.
+func (s *Server) WALReplayed() int64 { return s.mgr.WALReplayed() }
 
 // SetDefaultShards sets the shard count applied to sessions whose create
 // request does not specify one (the cmd/remp-server -shards flag). 0
@@ -306,10 +338,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		s.logf("shutdown: giving up on in-flight requests: %v", ctx.Err())
+		s.log.Warn("shutdown: giving up on in-flight requests", "err", ctx.Err())
 	}
 	err := s.mgr.Close()
-	s.logf("shutdown: store flushed and closed")
+	s.log.Info("shutdown: store flushed and closed")
 	return err
 }
 
@@ -329,20 +361,24 @@ func (s *Server) applyDefaults(o OptionsDTO) OptionsDTO {
 // Retry-After header while requests already in flight run to
 // completion.
 func (s *Server) Handler() http.Handler {
+	// route resolves each route's metric children here, once; the per-
+	// request path then only pays atomic increments and one log line.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("POST /v1/sessions/restore", s.handleRestore)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /v1/sessions/{id}/batch", s.handleBatch)
-	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
-	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.route("list", s.handleList))
+	mux.HandleFunc("POST /v1/sessions/restore", s.route("restore", s.handleRestore))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.route("status", s.handleStatus))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/sessions/{id}/batch", s.route("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.route("answers", s.handleAnswers))
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.route("result", s.handleResult))
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.route("snapshot", s.handleSnapshot))
 
 	root := http.NewServeMux()
 	root.Handle("/v1/", s.gate(mux))
 	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
 	root.Handle("GET /debug/vars", expvar.Handler())
 	return root
 }
@@ -379,20 +415,36 @@ func refuseDraining(w http.ResponseWriter) {
 	writeError(w, http.StatusServiceUnavailable, "server is draining")
 }
 
-// handleHealthz reports liveness: 200 while serving, 503 while
-// draining. persist_failures counts store operations that have failed
-// since startup — non-zero means some session's durable state is stale.
+// handleHealthz reports liveness: always 200 while the process serves,
+// with structured detail — uptime, live session count, drain state,
+// store backend, persistence failures and recovery replay depth. A
+// draining server is still alive; readiness is /readyz's job.
+// persist_failures counts store operations that have failed since
+// startup — non-zero means some session's durable state is stale.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	status, code := "ok", http.StatusOK
+	status := "ok"
 	if s.draining.Load() {
-		status, code = "draining", http.StatusServiceUnavailable
+		status = "draining"
 	}
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":           status,
+		"uptime_seconds":   float64(s.metrics.clock()) / 1e9,
 		"store":            s.storeKind,
-		"sessions":         len(s.mgr.SessionIDs()),
+		"sessions_active":  len(s.mgr.SessionIDs()),
+		"draining":         s.draining.Load(),
 		"persist_failures": s.mgr.PersistFailures(),
+		"wal_replayed":     s.mgr.WALReplayed(),
 	})
+}
+
+// handleReadyz reports readiness: 200 while accepting new work, 503 once
+// Shutdown has begun draining (load balancers should stop routing here).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // ListenAndServe runs the server on addr until the listener fails.
@@ -504,7 +556,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	stats.Add("sessions_created", 1)
-	s.logf("created session %s (namespace %s)", sess.ID(), namespace)
+	s.metrics.sessionsCreated.Inc()
+	s.log.Info("session created", "session", sess.ID(), "namespace", namespace)
 	writeJSON(w, http.StatusCreated, s.info(sess, true))
 }
 
@@ -547,7 +600,8 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	stats.Add("sessions_restored", 1)
-	s.logf("restored session %s (namespace %s)", sess.ID(), namespace)
+	s.metrics.sessionsRestored.Inc()
+	s.log.Info("session restored", "session", sess.ID(), "namespace", namespace)
 	writeJSON(w, http.StatusCreated, s.info(sess, true))
 }
 
@@ -618,7 +672,9 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	}
 	stats.Add("answers_accepted", int64(resp.Accepted))
 	stats.Add("answers_rejected", int64(len(resp.Rejected)))
-	s.logf("session %s: %d answers accepted, %d rejected", sess.ID(), resp.Accepted, len(resp.Rejected))
+	s.metrics.answersAccepted.Add(int64(resp.Accepted))
+	s.metrics.answersRejected.Add(int64(len(resp.Rejected)))
+	s.log.Info("answers delivered", "session", sess.ID(), "accepted", resp.Accepted, "rejected", len(resp.Rejected))
 	resp.SessionInfo = s.info(sess, true)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -684,7 +740,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	stats.Add("sessions_deleted", 1)
-	s.logf("deleted session %s", id)
+	s.metrics.sessionsDeleted.Inc()
+	s.log.Info("session deleted", "session", id)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -396,14 +396,22 @@ func TestServerDrainThenRefuse(t *testing.T) {
 	var health struct {
 		Status   string `json:"status"`
 		Store    string `json:"store"`
-		Sessions int    `json:"sessions"`
+		Sessions int    `json:"sessions_active"`
+		Draining bool   `json:"draining"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Store != "disk" || health.Sessions != 1 {
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Store != "disk" || health.Sessions != 1 || health.Draining {
 		t.Fatalf("healthz before drain: HTTP %d %+v", resp.StatusCode, health)
+	}
+	if resp, err = http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: HTTP %d, want 200", resp.StatusCode)
 	}
 
 	// A request that enters before Shutdown must complete: block one in
@@ -436,14 +444,25 @@ func TestServerDrainThenRefuse(t *testing.T) {
 	if _, err := c.CreateSession(req); err == nil || !strings.Contains(err.Error(), "503") {
 		t.Fatalf("create after drain: %v, want 503", err)
 	}
-	// ...and /healthz reports draining.
+	// ...liveness stays 200 but reports draining, and readiness flips to
+	// 503 so load balancers stop routing here.
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "draining" || !health.Draining {
+		t.Fatalf("healthz after drain: HTTP %d %+v, want 200 draining", resp.StatusCode, health)
+	}
+	if resp, err = http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz after drain: HTTP %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz after drain: HTTP %d, want 503", resp.StatusCode)
 	}
 
 	// The flushed store brings the session back in a successor process.

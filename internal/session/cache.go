@@ -20,10 +20,12 @@ import (
 // arrives, when the owning session finishes, or when the Manager removes
 // the owner — so an abandoned session cannot starve its siblings forever.
 type Cache struct {
-	mu       sync.Mutex
-	answers  map[pair.Pair][]crowd.Label
-	reserved map[pair.Pair]string // pending pair → owning session ID
-	hits     atomic.Int64
+	mu           sync.Mutex
+	answers      map[pair.Pair][]crowd.Label
+	reserved     map[pair.Pair]string // pending pair → owning session ID
+	hits         atomic.Int64
+	misses       atomic.Int64
+	reservations atomic.Int64
 }
 
 // NewCache returns an empty answer cache.
@@ -41,6 +43,8 @@ func (c *Cache) answer(q pair.Pair) ([]crowd.Label, bool) {
 	labels, ok := c.answers[q]
 	if ok {
 		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
 	}
 	return labels, ok
 }
@@ -69,6 +73,7 @@ func (c *Cache) reserve(q pair.Pair, owner string) bool {
 		return held == owner
 	}
 	c.reserved[q] = owner
+	c.reservations.Add(1)
 	return true
 }
 
@@ -92,3 +97,10 @@ func (c *Cache) Len() int {
 
 // Hits returns how many times a cached answer was served to a session.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many answer lookups found nothing cached.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Reservations returns how many question reservations were granted to
+// sessions over the cache's lifetime (released reservations included).
+func (c *Cache) Reservations() int64 { return c.reservations.Load() }

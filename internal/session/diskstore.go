@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // DiskStore is the crash-safe Store: one directory per session holding
@@ -49,6 +51,13 @@ type DiskStore struct {
 	wals   map[string]*walWriter
 	closed bool
 
+	// fsyncClock/fsyncHist, when wired via InstrumentFsync, time the WAL
+	// fsync syscall in AppendAnswer — the latency every acknowledged
+	// answer pays for durability. The store never reads the wall clock
+	// itself; the clock is injected by the owner (the server).
+	fsyncClock obs.Clock
+	fsyncHist  *obs.Histogram
+
 	// failpoint, when set (tests only), runs before every physical write
 	// boundary; a returned error aborts the operation as a crash would.
 	// errTornWrite on "append.write" writes half the record first,
@@ -79,6 +88,14 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 
 // Dir returns the store's root directory.
 func (d *DiskStore) Dir() string { return d.root }
+
+// InstrumentFsync wires a latency histogram over the WAL fsync in
+// AppendAnswer, timed with the injected monotonic clock. Call it before
+// the store serves traffic; a nil clock disables the instrumentation.
+func (d *DiskStore) InstrumentFsync(clock obs.Clock, h *obs.Histogram) {
+	d.fsyncClock = clock
+	d.fsyncHist = h
+}
 
 // fail invokes the failpoint hook for one write boundary.
 func (d *DiskStore) fail(op string) error {
@@ -332,7 +349,13 @@ func (d *DiskStore) AppendAnswer(id string, seq int, rec AnswerRec) error {
 	if err := d.fail("append.sync"); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if d.fsyncClock == nil {
+		return w.f.Sync()
+	}
+	t0 := d.fsyncClock()
+	err = w.f.Sync()
+	d.fsyncHist.ObserveNS(d.fsyncClock() - t0)
+	return err
 }
 
 // PutSnapshot implements Store: atomic snapshot rotation followed by a

@@ -45,6 +45,7 @@ type Manager struct {
 	store        Store
 	rotateEvery  int
 	persistFails atomic.Int64
+	walReplayed  atomic.Int64
 }
 
 // NewManager returns an empty manager journaling into an in-memory
@@ -80,6 +81,24 @@ func (m *Manager) Store() Store { return m.store }
 // failed across all sessions; non-zero means at least one session's
 // durable state is stale (see Session.PersistErr).
 func (m *Manager) PersistFailures() int64 { return m.persistFails.Load() }
+
+// WALReplayed returns how many WAL records Recover has delivered on top
+// of session snapshots since the manager was built — the durable-suffix
+// work a restart actually paid for.
+func (m *Manager) WALReplayed() int64 { return m.walReplayed.Load() }
+
+// CacheStats sums hits, misses and granted reservations across every
+// namespace answer cache the manager owns.
+func (m *Manager) CacheStats() (hits, misses, reservations int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.caches {
+		hits += c.Hits()
+		misses += c.Misses()
+		reservations += c.Reservations()
+	}
+	return hits, misses, reservations
+}
 
 // Cache returns the namespace's shared answer cache, creating it on first
 // use.
@@ -285,6 +304,7 @@ func (m *Manager) recoverOne(id string, prepare func(id string, meta []byte) (*c
 		if err := s.DeliverPair(q, ToCrowd(w.Answer.Labels)); err != nil {
 			return fmt.Errorf("WAL replay diverged at seq %d: %w", w.Seq, err)
 		}
+		m.walReplayed.Add(1)
 		next++
 	}
 	// Only now join the namespace cache: share this session's answers

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/pair"
 	"repro/internal/selection"
 )
@@ -189,12 +190,13 @@ func configFromOptions(opts Options) (core.Config, error) {
 
 // prepare validates the inputs and runs stages 1–2 of the pipeline.
 func prepare(ds Dataset, opts Options) (*core.Prepared, error) {
-	return prepareSched(ds, opts, nil)
+	return prepareSched(ds, opts, nil, nil)
 }
 
 // prepareSched is prepare with an explicit shard-work scheduler (the
-// Manager's shared pool); nil keeps the process-wide default.
-func prepareSched(ds Dataset, opts Options, sched *core.Scheduler) (*core.Prepared, error) {
+// Manager's shared pool) and instrumentation hooks; nil keeps the
+// process-wide default scheduler / an uninstrumented pipeline.
+func prepareSched(ds Dataset, opts Options, sched *core.Scheduler, o *obs.Pipeline) (*core.Prepared, error) {
 	if ds.K1 == nil || ds.K2 == nil {
 		return nil, ErrNilInput
 	}
@@ -203,6 +205,7 @@ func prepareSched(ds Dataset, opts Options, sched *core.Scheduler) (*core.Prepar
 		return nil, err
 	}
 	cfg.Sched = sched
+	cfg.Obs = o
 	return core.Prepare(ds.K1, ds.K2, cfg), nil
 }
 

@@ -3,6 +3,7 @@ package remp
 import (
 	"repro/internal/core"
 	"repro/internal/crowd"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -151,6 +152,10 @@ type ReopenFunc func(id string, meta []byte) (Dataset, Options, string, error)
 // see OpenManager for durable sessions).
 type Manager struct {
 	m *session.Manager
+	// obs, when non-nil, instruments every pipeline the manager prepares
+	// (including recovered ones) with loop-stage timings and engine
+	// counters. Set only by OpenManagerObs.
+	obs *obs.Pipeline
 }
 
 // NewManager returns an empty session manager over an in-memory store.
@@ -165,7 +170,15 @@ func NewManager() *Manager { return &Manager{m: session.NewManager()} }
 // returned error; the manager is usable regardless. A nil reopen skips
 // recovery (any stored sessions stay dormant in the store).
 func OpenManager(store Store, reopen ReopenFunc) (*Manager, []string, error) {
-	m := &Manager{m: session.NewManagerStore(store, 0)}
+	return OpenManagerObs(store, reopen, nil)
+}
+
+// OpenManagerObs is OpenManager with instrumentation hooks attached
+// before recovery runs, so recovered sessions' pipelines are wired into
+// the same loop-stage timings and engine counters as freshly created
+// ones. A nil Pipeline is equivalent to OpenManager.
+func OpenManagerObs(store Store, reopen ReopenFunc, o *obs.Pipeline) (*Manager, []string, error) {
+	m := &Manager{m: session.NewManagerStore(store, 0), obs: o}
 	if reopen == nil {
 		return m, nil, nil
 	}
@@ -174,7 +187,7 @@ func OpenManager(store Store, reopen ReopenFunc) (*Manager, []string, error) {
 		if rerr != nil {
 			return nil, "", rerr
 		}
-		p, perr := prepareSched(ds, opts, m.m.Scheduler())
+		p, perr := prepareSched(ds, opts, m.m.Scheduler(), m.obs)
 		if perr != nil {
 			return nil, "", perr
 		}
@@ -190,7 +203,7 @@ func OpenManager(store Store, reopen ReopenFunc) (*Manager, []string, error) {
 // handed back to the ReopenFunc on recovery; pass nil when the manager's
 // store does not outlive the process.
 func (m *Manager) NewSession(ds Dataset, opts Options, namespace string, meta []byte) (*Session, error) {
-	p, err := prepareSched(ds, opts, m.m.Scheduler())
+	p, err := prepareSched(ds, opts, m.m.Scheduler(), m.obs)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +222,7 @@ func (m *Manager) RestoreSession(ds Dataset, opts Options, namespace string, sna
 	if err != nil {
 		return nil, err
 	}
-	p, err := prepareSched(ds, opts, m.m.Scheduler())
+	p, err := prepareSched(ds, opts, m.m.Scheduler(), m.obs)
 	if err != nil {
 		return nil, err
 	}
@@ -243,6 +256,14 @@ func (m *Manager) SessionIDs() []string { return m.m.IDs() }
 // the manager's sessions; non-zero means at least one session's durable
 // state is frozen behind its in-memory state (see Session.PersistErr).
 func (m *Manager) PersistFailures() int64 { return m.m.PersistFailures() }
+
+// WALReplayed returns how many WAL records recovery has replayed on top
+// of session snapshots since the manager was opened.
+func (m *Manager) WALReplayed() int64 { return m.m.WALReplayed() }
+
+// CacheStats sums answer-cache hits, misses and granted question
+// reservations across every namespace the manager serves.
+func (m *Manager) CacheStats() (hits, misses, reservations int64) { return m.m.CacheStats() }
 
 // Flush rotates every live session's durable snapshot to its current
 // state, so a subsequent recovery replays no WAL.
