@@ -17,8 +17,13 @@
 //
 //	go test -bench . -benchtime 1x -run '^$' ./... | tee bench.txt
 //	remp-bench -experiment shards -json shards.json
-//	benchreport -bench bench.txt -shards shards.json \
+//	remp-bench -experiment prepare -n 20000 -json prepare.json
+//	benchreport -bench bench.txt -shards shards.json -prepare prepare.json \
 //	    -baseline BENCH_baseline.json -out BENCH_remp.json
+//
+// The prepare report carries its own gate: the indexed pre-pipeline must
+// be byte-identical to the naive path, and — when the report ran the
+// naive cross-check — at least -min-prepare-speedup times faster.
 package main
 
 import (
@@ -43,6 +48,9 @@ type Report struct {
 	Go          string                   `json:"go"`
 	Benchmarks  []Benchmark              `json:"benchmarks"`
 	Scalability *experiments.ShardReport `json:"scalability,omitempty"`
+	// Prepare is the pre-pipeline report (indexed blocking + batched
+	// similarity vs the naive path) from remp-bench -experiment prepare.
+	Prepare *experiments.PrepareReport `json:"prepare,omitempty"`
 	// LoadTest is the remp-loadgen report (throughput against a live
 	// server plus the oracle-equivalence verdict), when one was run.
 	LoadTest *loadgen.Report `json:"load_test,omitempty"`
@@ -85,6 +93,8 @@ var (
 func main() {
 	benchPath := flag.String("bench", "", "go test -bench output to parse (required)")
 	shardsPath := flag.String("shards", "", "shard-scalability JSON from remp-bench -experiment shards -json")
+	preparePath := flag.String("prepare", "", "pre-pipeline JSON from remp-bench -experiment prepare -json")
+	minSpeedup := flag.Float64("min-prepare-speedup", 5.0, "minimum indexed-vs-naive pre-pipeline speedup (applies only when the prepare report ran the naive cross-check)")
 	loadgenPath := flag.String("loadgen", "", "load-test JSON from remp-loadgen -json")
 	baselinePath := flag.String("baseline", "", "baseline BENCH json to gate against")
 	outPath := flag.String("out", "BENCH_remp.json", "output path")
@@ -142,6 +152,18 @@ func main() {
 		report.Scalability = &shard
 	}
 
+	if *preparePath != "" {
+		data, err := os.ReadFile(*preparePath)
+		if err != nil {
+			fatalf("benchreport: %v", err)
+		}
+		var prep experiments.PrepareReport
+		if err := json.Unmarshal(data, &prep); err != nil {
+			fatalf("benchreport: parsing %s: %v", *preparePath, err)
+		}
+		report.Prepare = &prep
+	}
+
 	if *loadgenPath != "" {
 		data, err := os.ReadFile(*loadgenPath)
 		if err != nil {
@@ -186,6 +208,23 @@ func main() {
 		for op, ls := range lt.Latency {
 			fmt.Printf("benchreport: load test %-7s p50 %.2fms p95 %.2fms p99 %.2fms (n=%d)\n",
 				op, ls.P50Ms, ls.P95Ms, ls.P99Ms, ls.Count)
+		}
+	}
+	if prep := report.Prepare; prep != nil {
+		if !prep.Equivalent {
+			fmt.Printf("benchreport: FAIL pre-pipeline (%s) diverged from the naive path\n", prep.Dataset)
+			failed = true
+		}
+		if prep.NaiveNS > 0 && prep.Speedup < *minSpeedup {
+			fmt.Printf("benchreport: FAIL pre-pipeline speedup %.2fx below the %.1fx floor\n", prep.Speedup, *minSpeedup)
+			failed = true
+		}
+		if prep.NaiveNS > 0 {
+			fmt.Printf("benchreport: pre-pipeline green: %s, %.2fx speedup, byte-identical %v\n",
+				prep.Dataset, prep.Speedup, prep.Equivalent)
+		} else {
+			fmt.Printf("benchreport: pre-pipeline green: %s, indexed %.2fs (naive cross-check skipped at this scale)\n",
+				prep.Dataset, float64(prep.IndexedNS)/1e9)
 		}
 	}
 	if report.Scalability != nil {

@@ -1,11 +1,15 @@
 // Command datagen generates the synthetic benchmark datasets and writes
-// them to disk in the TSV format that cmd/remp consumes: <name>.kb1.tsv,
-// <name>.kb2.tsv and <name>.gold.tsv.
+// them to disk in the formats that cmd/remp consumes: the line-based TSV
+// (<name>.kb1.tsv, <name>.kb2.tsv and <name>.gold.tsv) and, with
+// -format snap or both, the binary KB snapshot (<name>.kb1.snap,
+// <name>.kb2.snap — see internal/kb for the format) that loads without
+// re-parsing, which matters at the million-entity scale.
 //
 // Usage:
 //
 //	datagen -dataset iimb -out ./data
 //	datagen -dataset all -seed 7 -out ./data
+//	datagen -dataset scale-1000000 -format snap -out ./data   # 1M entities/KB
 package main
 
 import (
@@ -18,16 +22,30 @@ import (
 	"strings"
 
 	"repro/internal/datasets"
+	"repro/internal/kb"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
 
-	name := flag.String("dataset", "all", "dataset to generate: all, "+strings.Join(datasets.Names(), ", "))
+	name := flag.String("dataset", "all", "dataset to generate: all, scale-<n>, "+strings.Join(datasets.Names(), ", "))
 	out := flag.String("out", ".", "output directory")
 	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "tsv", "output format: tsv, snap or both (gold is always TSV)")
 	flag.Parse()
+
+	writeTSV, writeSnap := false, false
+	switch *format {
+	case "tsv":
+		writeTSV = true
+	case "snap":
+		writeSnap = true
+	case "both":
+		writeTSV, writeSnap = true, true
+	default:
+		log.Fatalf("unknown -format %q (want tsv, snap or both)", *format)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -46,15 +64,15 @@ func main() {
 
 	for _, ds := range list {
 		base := strings.ToLower(ds.Name)
-		if err := writeDataset(ds, *out, base); err != nil {
+		if err := writeDataset(ds, *out, base, writeTSV, writeSnap); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: %s | %s | %d gold matches → %s/%s.*.tsv\n",
-			ds.Name, ds.K1.Stats(), ds.K2.Stats(), ds.Gold.Size(), *out, base)
+		fmt.Printf("%s: %s | %s | %d gold matches → %s/%s.* (%s)\n",
+			ds.Name, ds.K1.Stats(), ds.K2.Stats(), ds.Gold.Size(), *out, base, *format)
 	}
 }
 
-func writeDataset(ds *datasets.Dataset, dir, base string) error {
+func writeDataset(ds *datasets.Dataset, dir, base string, writeTSV, writeSnap bool) error {
 	write := func(suffix string, fn func(*bufio.Writer) error) error {
 		f, err := os.Create(filepath.Join(dir, base+suffix))
 		if err != nil {
@@ -67,11 +85,21 @@ func writeDataset(ds *datasets.Dataset, dir, base string) error {
 		}
 		return w.Flush()
 	}
-	if err := write(".kb1.tsv", func(w *bufio.Writer) error { return ds.K1.WriteTSV(w) }); err != nil {
-		return err
+	if writeTSV {
+		if err := write(".kb1.tsv", func(w *bufio.Writer) error { return ds.K1.WriteTSV(w) }); err != nil {
+			return err
+		}
+		if err := write(".kb2.tsv", func(w *bufio.Writer) error { return ds.K2.WriteTSV(w) }); err != nil {
+			return err
+		}
 	}
-	if err := write(".kb2.tsv", func(w *bufio.Writer) error { return ds.K2.WriteTSV(w) }); err != nil {
-		return err
+	if writeSnap {
+		if err := ds.K1.WriteSnapshotFile(filepath.Join(dir, base+".kb1"+kb.SnapshotExt)); err != nil {
+			return err
+		}
+		if err := ds.K2.WriteSnapshotFile(filepath.Join(dir, base+".kb2"+kb.SnapshotExt)); err != nil {
+			return err
+		}
 	}
 	return write(".gold.tsv", func(w *bufio.Writer) error {
 		for _, m := range ds.Gold.Matches() {

@@ -37,7 +37,9 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "random seed for datasets, workers and samplers")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards experiment only)")
+	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards and prepare experiments only)")
+	prepN := flag.Int("n", 1_000_000, "prepare experiment: entities per KB of the scale dataset")
+	prepNaive := flag.Bool("naive", false, "prepare experiment: force the naive cross-check even above its feasibility limit (default: auto by -n)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the experiment run to this file")
 	tracePath := flag.String("trace", "", "write a runtime execution trace of the experiment run to this file")
@@ -63,15 +65,19 @@ func main() {
 	case *experiment == "shards" && *jsonPath != "":
 		run = func() {
 			report := experiments.ShardScalability(os.Stdout, *seed)
-			data, err := json.MarshalIndent(report, "", "  ")
-			if err != nil {
-				fatalf("remp-bench: encoding report: %v", err)
+			writeJSON(*jsonPath, report)
+		}
+	case *experiment == "prepare":
+		if *prepN <= 0 {
+			fatalf("remp-bench: -n must be positive")
+		}
+		n, withNaive := *prepN, *prepNaive
+		run = func() {
+			report := experiments.PreparePipeline(os.Stdout, *seed, n,
+				withNaive || n <= experiments.NaiveFeasibleLimit)
+			if *jsonPath != "" {
+				writeJSON(*jsonPath, report)
 			}
-			data = append(data, '\n')
-			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-				fatalf("remp-bench: writing %s: %v", *jsonPath, err)
-			}
-			fmt.Printf("\nwrote %s\n", *jsonPath)
 		}
 	default:
 		runner, ok := experiments.Registry()[*experiment]
@@ -79,7 +85,7 @@ func main() {
 			fatalf("remp-bench: unknown experiment %q; available: %v", *experiment, experiments.Names())
 		}
 		if *jsonPath != "" {
-			fatalf("remp-bench: -json is only supported with -experiment shards")
+			fatalf("remp-bench: -json is only supported with -experiment shards or prepare")
 		}
 		run = func() { runner(os.Stdout, *seed) }
 	}
@@ -124,6 +130,18 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *memProfile)
 	}
+}
+
+func writeJSON(path string, report any) {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("remp-bench: encoding report: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("remp-bench: writing %s: %v", path, err)
+	}
+	fmt.Printf("\nwrote %s\n", path)
 }
 
 func fatalf(format string, args ...any) {

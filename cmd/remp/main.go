@@ -109,6 +109,11 @@ func loadDataset(name, kb1Path, kb2Path, goldPath string, seed int64) (*datasets
 }
 
 func readKB(path string) (*kb.KB, error) {
+	// Binary snapshots (datagen -format snap) load without re-parsing;
+	// anything else is the line-based TSV format.
+	if strings.HasSuffix(path, kb.SnapshotExt) {
+		return kb.OpenSnapshot(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

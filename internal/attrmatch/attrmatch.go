@@ -6,6 +6,7 @@
 package attrmatch
 
 import (
+	"runtime"
 	"sort"
 
 	"repro/internal/assign"
@@ -21,6 +22,13 @@ type Match struct {
 	Sim float64
 }
 
+// Runner runs n independent tasks, possibly in parallel. *core.Scheduler
+// satisfies it; attrmatch declares its own interface because core imports
+// this package.
+type Runner interface {
+	ForEach(n int, fn func(i int))
+}
+
 // Options configures attribute matching.
 type Options struct {
 	// LiteralThreshold is the internal literal-similarity threshold of
@@ -34,6 +42,10 @@ type Options struct {
 	// keeps, for each attribute in K1, every counterpart above
 	// MinSimilarity.
 	OneToOne bool
+	// Runner, when non-nil, computes the per-match simL contributions in
+	// parallel. The simA matrix is byte-identical either way (the float
+	// accumulation order is preserved); nil means serial.
+	Runner Runner
 }
 
 // DefaultOptions mirrors the paper (threshold 0.9, 1:1 on).
@@ -44,7 +56,137 @@ func DefaultOptions() Options {
 // Similarities computes the full simA matrix between the attributes of k1
 // and k2 over the initial matches min (Eq. 1). Entry [a1][a2] is zero when
 // no initial match has values for either attribute.
+//
+// It runs the batched path: every needed value set is interned into a
+// literal corpus once, the per-match simL contributions are computed —
+// in parallel when opts.Runner is set — and then accumulated serially in
+// the original match order, so the floats are byte-identical to
+// SimilaritiesNaive.
 func Similarities(k1, k2 *kb.KB, min []pair.Pair, opts Options) [][]float64 {
+	n1, n2 := k1.NumAttrs(), k2.NumAttrs()
+	sum := make([][]float64, n1)
+	cnt := make([][]int, n1)
+	for i := range sum {
+		sum[i] = make([]float64, n2)
+		cnt[i] = make([]int, n2)
+	}
+	if len(min) == 0 {
+		return sum
+	}
+
+	// Serial interning pass: the corpus is mutated here and only read by
+	// the scoring pass below.
+	corpus := strsim.NewCorpus()
+	lits1 := make(map[valKey][]strsim.LitID)
+	lits2 := make(map[valKey][]strsim.LitID)
+	for _, m := range min {
+		for _, a1 := range k1.Attrs(m.U1) {
+			key := valKey{u: m.U1, a: a1}
+			if _, ok := lits1[key]; !ok {
+				lits1[key] = corpus.InternAll(k1.AttrValues(m.U1, a1))
+			}
+		}
+		for _, a2 := range k2.Attrs(m.U2) {
+			key := valKey{u: m.U2, a: a2}
+			if _, ok := lits2[key]; !ok {
+				lits2[key] = corpus.InternAll(k2.AttrValues(m.U2, a2))
+			}
+		}
+	}
+
+	// Contribution pass over contiguous chunks of min: each chunk records
+	// its (a1, a2, simL) contributions in match order.
+	chunks := chunkRanges(len(min), opts.Runner)
+	parts := make([][]contrib, len(chunks))
+	runAll(opts.Runner, len(chunks), func(ci int) {
+		var sc strsim.MatchScratch
+		var out []contrib
+		for i := chunks[ci].lo; i < chunks[ci].hi; i++ {
+			m := min[i]
+			attrs1 := k1.Attrs(m.U1)
+			attrs2 := k2.Attrs(m.U2)
+			for _, a1 := range attrs1 {
+				v1 := lits1[valKey{u: m.U1, a: a1}]
+				for _, a2 := range attrs2 {
+					v2 := lits2[valKey{u: m.U2, a: a2}]
+					if len(v1) == 0 && len(v2) == 0 {
+						continue
+					}
+					out = append(out, contrib{a1: a1, a2: a2, sim: corpus.SimL(v1, v2, opts.LiteralThreshold, &sc)})
+				}
+			}
+		}
+		parts[ci] = out
+	})
+
+	// Serial accumulation in chunk (= original match) order keeps the
+	// float sums byte-identical to the naive single loop.
+	for _, part := range parts {
+		for _, c := range part {
+			sum[c.a1][c.a2] += c.sim
+			cnt[c.a1][c.a2]++
+		}
+	}
+	for i := range sum {
+		for j := range sum[i] {
+			if cnt[i][j] > 0 {
+				sum[i][j] /= float64(cnt[i][j])
+			}
+		}
+	}
+	return sum
+}
+
+// contrib is one match's simL contribution to a simA matrix cell.
+type contrib struct {
+	a1, a2 kb.AttrID
+	sim    float64
+}
+
+// valKey addresses one entity's value set on one attribute.
+type valKey struct {
+	u kb.EntityID
+	a kb.AttrID
+}
+
+// chunkRange is a half-open [lo, hi) range of match indexes.
+type chunkRange struct{ lo, hi int }
+
+// chunkRanges splits n matches into contiguous chunks: one per CPU when a
+// runner is present, a single chunk otherwise.
+func chunkRanges(n int, r Runner) []chunkRange {
+	if n == 0 {
+		return nil
+	}
+	nc := 1
+	if r != nil {
+		nc = runtime.NumCPU()
+		if nc > n {
+			nc = n
+		}
+	}
+	out := make([]chunkRange, nc)
+	for i := 0; i < nc; i++ {
+		out[i] = chunkRange{lo: i * n / nc, hi: (i + 1) * n / nc}
+	}
+	return out
+}
+
+// runAll executes fn(0..n-1) through r, or serially when r is nil.
+func runAll(r Runner, n int, fn func(int)) {
+	if r == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	r.ForEach(n, fn)
+}
+
+// SimilaritiesNaive is the retained per-pair string implementation of
+// Eq. 1, the semantic anchor for the batched Similarities: the property
+// tests require both to return byte-identical matrices on randomized KBs.
+func SimilaritiesNaive(k1, k2 *kb.KB, min []pair.Pair, opts Options) [][]float64 {
 	n1, n2 := k1.NumAttrs(), k2.NumAttrs()
 	sum := make([][]float64, n1)
 	cnt := make([][]int, n1)

@@ -1,0 +1,84 @@
+package attrmatch
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+)
+
+type wideRunner struct{}
+
+func (wideRunner) ForEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+var literalPool = []string{
+	"", "hello world", "42", " 42 ", "3.14", "1999", "2001-05-03",
+	"café naïve", "北京", "a b c", "the running cities", "O'Neill",
+}
+
+func randAttrKB(r *rand.Rand, name string, n, nAttrs int) *kb.KB {
+	k := kb.New(name)
+	attrs := make([]kb.AttrID, nAttrs)
+	for a := 0; a < nAttrs; a++ {
+		attrs[a] = k.AddAttr(fmt.Sprintf("attr%d", a))
+	}
+	for i := 0; i < n; i++ {
+		u := k.AddEntity(fmt.Sprintf("%s:e%d", name, i))
+		for _, a := range attrs {
+			for v := r.Intn(3); v > 0; v-- {
+				k.AddAttrTriple(u, a, literalPool[r.Intn(len(literalPool))])
+			}
+		}
+	}
+	return k
+}
+
+// TestSimilaritiesMatchesNaive: the batched simA matrix must be
+// byte-identical to the retained naive implementation — float
+// accumulation order included — serial and parallel.
+func TestSimilaritiesMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k1 := randAttrKB(r, "k1", 15, 3)
+		k2 := randAttrKB(r, "k2", 15, 4)
+		var min []pair.Pair
+		for i := 0; i < 10; i++ {
+			min = append(min, pair.Pair{
+				U1: kb.EntityID(r.Intn(k1.NumEntities())),
+				U2: kb.EntityID(r.Intn(k2.NumEntities())),
+			})
+		}
+		opts := DefaultOptions()
+		want := SimilaritiesNaive(k1, k2, min, opts)
+
+		got := Similarities(k1, k2, min, opts)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed=%d serial: simA diverges\nnaive:   %v\nbatched: %v", seed, want, got)
+		}
+
+		opts.Runner = wideRunner{}
+		got = Similarities(k1, k2, min, opts)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed=%d parallel: simA diverges\nnaive:   %v\nbatched: %v", seed, want, got)
+		}
+
+		// FindMatches consumes the batched matrix; empty min must also agree.
+		if !reflect.DeepEqual(SimilaritiesNaive(k1, k2, nil, opts), Similarities(k1, k2, nil, opts)) {
+			t.Fatalf("seed=%d: empty-min matrices diverge", seed)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package blocking
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/pair"
+	"repro/internal/strsim"
+)
+
+// parallelChunks is how many contiguous K1 ranges Generate fans out when a
+// Runner is supplied. One chunk per CPU keeps the per-chunk seen arrays
+// (4 bytes × |K2| each) proportional to real parallelism; the chunk count
+// never affects the result.
+var parallelChunks = runtime.NumCPU()
+
+// GenerateNaive is the retained per-pair string implementation of
+// candidate generation. It is the semantic anchor for Generate: the
+// property tests require both paths to return byte-identical results on
+// randomized KBs, the same way InferAllFW anchors the CSR propagation
+// engine. It allocates per pair and should not be used at scale.
+func GenerateNaive(k1, k2 *kb.KB, opts Options) *Result {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.3
+	}
+
+	tokens1 := tokenizeAll(k1)
+	tokens2 := tokenizeAll(k2)
+
+	// Inverted index over K2 tokens.
+	index := make(map[string][]kb.EntityID)
+	for u2, toks := range tokens2 {
+		for _, t := range toks {
+			index[t] = append(index[t], kb.EntityID(u2))
+		}
+	}
+
+	res := &Result{Priors: make(map[pair.Pair]float64)}
+	seen := make(map[pair.Pair]struct{})
+	for u1, toks1 := range tokens1 {
+		if len(toks1) == 0 {
+			continue
+		}
+		for _, t := range toks1 {
+			postings := index[t]
+			if opts.MaxTokenPostings > 0 && len(postings) > opts.MaxTokenPostings {
+				continue
+			}
+			for _, u2 := range postings {
+				p := pair.Pair{U1: kb.EntityID(u1), U2: u2}
+				if _, ok := seen[p]; ok {
+					continue
+				}
+				seen[p] = struct{}{}
+				sim := strsim.Jaccard(toks1, tokens2[u2])
+				if sim < opts.Threshold {
+					continue
+				}
+				res.Candidates = append(res.Candidates, Candidate{Pair: p, Prior: sim})
+				res.Priors[p] = sim
+				if sim == 1 && exactLabel(k1, k2, p) {
+					res.Initial = append(res.Initial, p)
+				}
+			}
+		}
+	}
+
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		return res.Candidates[i].Pair.Less(res.Candidates[j].Pair)
+	})
+	sort.Slice(res.Initial, func(i, j int) bool {
+		return res.Initial[i].Less(res.Initial[j])
+	})
+	return res
+}
+
+func tokenizeAll(k *kb.KB) [][]string {
+	out := make([][]string, k.NumEntities())
+	for u := 0; u < k.NumEntities(); u++ {
+		out[u] = strsim.TokenSet(k.Label(kb.EntityID(u)))
+	}
+	return out
+}

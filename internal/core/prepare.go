@@ -72,19 +72,28 @@ func Prepare(k1, k2 *kb.KB, cfg Config) *Prepared {
 	defer cfg.Obs.StageEnd(obs.StagePrepare, t0)
 	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
 
-	p.Blocking = blocking.Generate(k1, k2, blocking.Options{Threshold: cfg.LabelSimThreshold})
+	tb := cfg.Obs.StageStart()
+	p.Blocking = blocking.Generate(k1, k2, blocking.Options{
+		Threshold: cfg.LabelSimThreshold,
+		Runner:    cfg.scheduler(),
+	})
+	cfg.Obs.StageEnd(obs.StageBlock, tb)
 
+	ts := cfg.Obs.StageStart()
 	amOpts := attrmatch.DefaultOptions()
 	amOpts.LiteralThreshold = cfg.LiteralThreshold
+	amOpts.Runner = cfg.scheduler()
 	p.AttrMatches = attrmatch.FindMatches(k1, k2, p.Blocking.Initial, amOpts)
 
 	p.Builder = simvec.NewBuilder(k1, k2, p.AttrMatches, cfg.LiteralThreshold)
+	p.Builder.SetRunner(cfg.scheduler())
 	cands := make([]pair.Pair, len(p.Blocking.Candidates))
 	for i, c := range p.Blocking.Candidates {
 		cands[i] = c.Pair
 	}
 	p.Pruner = simvec.NewPruner(cands, p.Builder.All(cands))
 	p.Retained = p.Pruner.Prune(cands, cfg.K)
+	cfg.Obs.StageEnd(obs.StageSimilarity, ts)
 
 	p.Graph = ergraph.Build(k1, k2, p.Retained)
 	p.Priors = make(map[pair.Pair]float64, len(p.Retained))
@@ -118,12 +127,16 @@ func PrepareOnRetained(k1, k2 *kb.KB, cfg Config, retained []pair.Pair, blk *blo
 	p := &Prepared{K1: k1, K2: k2, Cfg: cfg}
 	p.Blocking = blk
 
+	ts := cfg.Obs.StageStart()
 	amOpts := attrmatch.DefaultOptions()
 	amOpts.LiteralThreshold = cfg.LiteralThreshold
+	amOpts.Runner = cfg.scheduler()
 	p.AttrMatches = attrmatch.FindMatches(k1, k2, blk.Initial, amOpts)
 	p.Builder = simvec.NewBuilder(k1, k2, p.AttrMatches, cfg.LiteralThreshold)
+	p.Builder.SetRunner(cfg.scheduler())
 	p.Retained = append([]pair.Pair(nil), retained...)
 	p.Pruner = simvec.NewPruner(p.Retained, p.Builder.All(p.Retained))
+	cfg.Obs.StageEnd(obs.StageSimilarity, ts)
 
 	p.Graph = ergraph.Build(k1, k2, p.Retained)
 	p.Priors = make(map[pair.Pair]float64, len(p.Retained))

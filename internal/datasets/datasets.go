@@ -9,6 +9,8 @@ package datasets
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/kb"
 	"repro/internal/pair"
@@ -31,8 +33,11 @@ type Dataset struct {
 	AttrGold []AttrRef
 }
 
-// Names lists the generator names accepted by ByName, in paper order
-// plus the small "books" load-test dataset.
+// Names lists the fixed generator names accepted by ByName, in paper
+// order plus the small "books" load-test dataset. ByName additionally
+// accepts the parameterized "scale-<n>" form (e.g. "scale-1000000") for
+// the Scale stress generator; it is not listed here because every listed
+// name must build as-is.
 func Names() []string { return []string{"iimb", "d-a", "i-y", "d-y", "books"} }
 
 // ByName builds the named dataset with the given seed.
@@ -48,6 +53,13 @@ func ByName(name string, seed int64) (*Dataset, error) {
 		return IMDBYAGO(seed), nil
 	case "d-y", "D-Y", "dbpedia-yago":
 		return DBpediaYAGO(seed), nil
+	}
+	if n, ok := strings.CutPrefix(name, "scale-"); ok {
+		sz, err := strconv.Atoi(n)
+		if err != nil || sz <= 0 {
+			return nil, fmt.Errorf("datasets: bad scale size in %q (want scale-<n>, n > 0)", name)
+		}
+		return Scale(seed, sz), nil
 	}
 	return nil, fmt.Errorf("datasets: unknown dataset %q", name)
 }

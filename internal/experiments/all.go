@@ -24,6 +24,7 @@ func Registry() map[string]Runner {
 		"table8":  func(w io.Writer, s int64) { Table8(w, s) },
 		"figure6": func(w io.Writer, s int64) { Figure6(w, s) },
 		"shards":  func(w io.Writer, s int64) { ShardScalability(w, s) },
+		"prepare": func(w io.Writer, s int64) { PreparePipeline(w, s, 20_000, true) },
 	}
 }
 
@@ -33,7 +34,7 @@ func Order() []string {
 	return []string{
 		"table3", "figure3", "table4", "table5", "figure4",
 		"table6", "figure5", "table7", "table8", "figure6",
-		"shards",
+		"shards", "prepare",
 	}
 }
 
@@ -70,6 +71,7 @@ func Describe(id string) string {
 		"table8":  "Table VIII — isolated-pair classifier",
 		"figure6": "Figure 6 — runtime scalability of Algorithms 1–3",
 		"shards":  "Shard speedup — sharded loop runtime and equivalence on the clustered synthetic graph",
+		"prepare": "Pre-pipeline — indexed blocking + batched similarity vs the naive path on the scale dataset",
 	}
 	if d, ok := desc[id]; ok {
 		return d

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"repro/internal/attrmatch"
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/obs"
+	"repro/internal/pair"
+	"repro/internal/simvec"
+)
+
+// PrepareReport is the machine-readable result of the prepare experiment,
+// merged into BENCH_remp.json by cmd/benchreport. NaiveNS/Speedup are
+// zero when the naive cross-check was skipped (it is quadratic in hot
+// spots and infeasible at the 1M scale the indexed path is built for).
+type PrepareReport struct {
+	Dataset    string `json:"dataset"`
+	Entities   int    `json:"entities_per_kb"`
+	Candidates int    `json:"candidates"`
+	Initial    int    `json:"initial"`
+	Retained   int    `json:"retained"`
+	// PrepareNS is end-to-end core.Prepare wall time on the indexed path;
+	// StageNS breaks out its block/similarity sub-stages.
+	PrepareNS int64            `json:"prepare_ns"`
+	StageNS   map[string]int64 `json:"stage_ns,omitempty"`
+	// IndexedNS and NaiveNS time the pre-pipeline in isolation — candidate
+	// generation, the simA matrix and similarity vectors, the three pieces
+	// this PR flattened — on the indexed and retained-naive paths.
+	IndexedNS  int64   `json:"indexed_ns"`
+	NaiveNS    int64   `json:"naive_ns,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	Equivalent bool    `json:"equivalent"`
+}
+
+// NaiveFeasibleLimit bounds the automatic naive cross-check: the retained
+// string path marks every token-sharing pair in a Go map, which is
+// memory- and time-quadratic in posting activity and stops being runnable
+// long before 1M entities. cmd/remp-bench enables the cross-check
+// automatically at or below this size.
+const NaiveFeasibleLimit = 200_000
+
+// PreparePipeline measures the indexed pre-pipeline on the scale-<n>
+// stress dataset and, when withNaive, cross-checks every intermediate
+// against the retained naive implementations (byte equality) and reports
+// the speedup.
+func PreparePipeline(w io.Writer, seed int64, n int, withNaive bool) *PrepareReport {
+	header(w, fmt.Sprintf("Pre-pipeline — indexed blocking + batched similarity (scale-%d, seed %d)", n, seed))
+	ds := datasets.Scale(seed, n)
+	rep := &PrepareReport{Dataset: ds.Name, Entities: n, Equivalent: !withNaive}
+
+	// End-to-end Prepare with stage tracing on the indexed path.
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	tr := obs.NewLoopTrace(obs.WallClock())
+	cfg.Obs = &obs.Pipeline{Trace: tr}
+	t0 := time.Now()
+	p := core.Prepare(ds.K1, ds.K2, cfg)
+	rep.PrepareNS = time.Since(t0).Nanoseconds()
+	rep.StageNS = tr.Totals()
+	rep.Candidates = len(p.Blocking.Candidates)
+	rep.Initial = len(p.Blocking.Initial)
+	rep.Retained = len(p.Retained)
+	fmt.Fprintf(w, "entities/KB %d   candidates %d   initial %d   retained %d\n",
+		n, rep.Candidates, rep.Initial, rep.Retained)
+	fmt.Fprintf(w, "core.Prepare      %12v  (block %v, similarity %v)\n",
+		time.Duration(rep.PrepareNS).Round(time.Millisecond),
+		time.Duration(rep.StageNS["block"]).Round(time.Millisecond),
+		time.Duration(rep.StageNS["similarity"]).Round(time.Millisecond))
+
+	// Isolated pre-pipeline timing, indexed path (as Prepare runs it).
+	sched := core.NewScheduler(0)
+	bOpts := blocking.Options{Threshold: cfg.LabelSimThreshold, Runner: sched}
+	amOpts := attrmatch.DefaultOptions()
+	amOpts.LiteralThreshold = cfg.LiteralThreshold
+	amOpts.Runner = sched
+	t0 = time.Now()
+	blk := blocking.Generate(ds.K1, ds.K2, bOpts)
+	sims := attrmatch.Similarities(ds.K1, ds.K2, blk.Initial, amOpts)
+	matches := attrmatch.FindMatches(ds.K1, ds.K2, blk.Initial, amOpts)
+	builder := simvec.NewBuilder(ds.K1, ds.K2, matches, cfg.LiteralThreshold)
+	builder.SetRunner(sched)
+	cands := make([]pair.Pair, len(blk.Candidates))
+	for i, c := range blk.Candidates {
+		cands[i] = c.Pair
+	}
+	vecs := builder.All(cands)
+	rep.IndexedNS = time.Since(t0).Nanoseconds()
+	fmt.Fprintf(w, "pre-pipeline      %12v  (indexed)\n", time.Duration(rep.IndexedNS).Round(time.Millisecond))
+
+	if !withNaive {
+		fmt.Fprintf(w, "naive cross-check skipped (n > %d or disabled)\n", NaiveFeasibleLimit)
+		return rep
+	}
+
+	t0 = time.Now()
+	nblk := blocking.GenerateNaive(ds.K1, ds.K2, blocking.Options{Threshold: cfg.LabelSimThreshold})
+	nsims := attrmatch.SimilaritiesNaive(ds.K1, ds.K2, nblk.Initial, amOpts)
+	nbuilder := simvec.NewBuilder(ds.K1, ds.K2, matches, cfg.LiteralThreshold)
+	nvecs := make([]simvec.Vector, len(cands))
+	for i, q := range cands {
+		nvecs[i] = nbuilder.Vector(q)
+	}
+	rep.NaiveNS = time.Since(t0).Nanoseconds()
+	rep.Speedup = float64(rep.NaiveNS) / float64(rep.IndexedNS)
+
+	rep.Equivalent = reflect.DeepEqual(blk.Candidates, nblk.Candidates) &&
+		reflect.DeepEqual(blk.Initial, nblk.Initial) &&
+		reflect.DeepEqual(blk.Priors, nblk.Priors) &&
+		reflect.DeepEqual(sims, nsims) &&
+		reflect.DeepEqual(vecs, nvecs)
+	fmt.Fprintf(w, "pre-pipeline      %12v  (naive)\n", time.Duration(rep.NaiveNS).Round(time.Millisecond))
+	fmt.Fprintf(w, "speedup           %12.2fx  byte-identical: %v\n", rep.Speedup, rep.Equivalent)
+	if !rep.Equivalent {
+		fmt.Fprintf(w, "WARNING: indexed and naive pre-pipelines diverged\n")
+	}
+	return rep
+}

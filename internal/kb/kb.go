@@ -1,9 +1,3 @@
-// Package kb implements the knowledge-base substrate of the Remp
-// reproduction: a KB is a 5-tuple (U, L, A, R, T) of entities, literals,
-// attributes, relationships and triples (§III-A of the paper). Entities,
-// attributes and relationships are interned to dense integer IDs; the KB
-// maintains the value-set indexes N_a(u) (attribute values of u) and
-// N_r(u) (relationship neighbors of u) that every later stage queries.
 package kb
 
 import (

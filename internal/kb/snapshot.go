@@ -1,0 +1,467 @@
+package kb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The binary snapshot format is documented in doc.go ("The binary KB
+// snapshot format"). Constants here pin the on-disk contract; bump
+// snapshotVersion when the payload layout changes and teach ReadSnapshot
+// to either translate or reject old versions explicitly.
+const (
+	snapshotMagic   = "REMPKB1\n"
+	snapshotVersion = 1
+	headerLen       = 32 // magic(8) + version(4) + flags(4) + payloadLen(8) + reserved(8)
+	trailerLen      = 4  // crc32 (IEEE) of the payload
+)
+
+// SnapshotExt is the conventional file extension for binary KB snapshots.
+const SnapshotExt = ".snap"
+
+// snapshotSizes precomputes every section length so WriteSnapshot can
+// stream the payload (header first, one pass, no whole-file buffering)
+// while still declaring the payload length up front.
+type snapshotSizes struct {
+	payload uint64
+	values  []string          // literal dictionary in first-use order
+	valueID map[string]uint32 // value → dictionary index
+}
+
+func strTableSize(strs []string) uint64 {
+	var blob uint64
+	for _, s := range strs {
+		blob += uint64(len(s))
+	}
+	// u64 blob length + blob + (n+1) u32 offsets.
+	return 8 + blob + 4*uint64(len(strs)+1)
+}
+
+func (k *KB) snapshotSizes() *snapshotSizes {
+	s := &snapshotSizes{valueID: make(map[string]uint32)}
+	for u := range k.entityNames {
+		for _, a := range k.Attrs(EntityID(u)) {
+			for _, v := range k.AttrValues(EntityID(u), a) {
+				if _, ok := s.valueID[v]; !ok {
+					s.valueID[v] = uint32(len(s.values))
+					s.values = append(s.values, v)
+				}
+			}
+		}
+	}
+	s.payload = 4 + uint64(len(k.name)) // name
+	s.payload += 4 * 4                  // entity/attr/rel/value counts
+	s.payload += 8 * 2                  // attr/rel triple counts
+	s.payload += strTableSize(k.entityNames)
+	s.payload += strTableSize(k.entityLabel)
+	s.payload += strTableSize(k.entityType)
+	s.payload += strTableSize(k.attrNames)
+	s.payload += strTableSize(k.relNames)
+	s.payload += strTableSize(s.values)
+	s.payload += 12 * uint64(k.nAttrTriples)
+	s.payload += 12 * uint64(k.nRelTriples)
+	return s
+}
+
+// snapWriter streams little-endian payload sections through a CRC.
+type snapWriter struct {
+	w       *bufio.Writer
+	crc     uint32
+	scratch [8]byte
+	err     error
+}
+
+func (sw *snapWriter) bytes(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	sw.crc = crc32.Update(sw.crc, crc32.IEEETable, b)
+	_, sw.err = sw.w.Write(b)
+}
+
+func (sw *snapWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(sw.scratch[:4], v)
+	sw.bytes(sw.scratch[:4])
+}
+
+func (sw *snapWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(sw.scratch[:8], v)
+	sw.bytes(sw.scratch[:8])
+}
+
+// strTable writes a string table: u64 blob length, the concatenated
+// bytes, then n+1 u32 offsets delimiting each entry within the blob.
+func (sw *snapWriter) strTable(strs []string) {
+	var blob uint64
+	for _, s := range strs {
+		blob += uint64(len(s))
+	}
+	sw.u64(blob)
+	for _, s := range strs {
+		sw.bytes([]byte(s))
+	}
+	off := uint32(0)
+	sw.u32(0)
+	for _, s := range strs {
+		off += uint32(len(s))
+		sw.u32(off)
+	}
+}
+
+// WriteSnapshot serializes the KB in the versioned binary snapshot format
+// (see doc.go): a fixed header, a little-endian payload of string tables
+// and dense triple arrays, and a CRC-32 trailer. The payload streams
+// through w in one pass; nothing is buffered beyond bufio.
+func (k *KB) WriteSnapshot(w io.Writer) error {
+	sizes := k.snapshotSizes()
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	var hdr [headerLen]byte
+	copy(hdr[:8], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], 0) // flags, reserved
+	binary.LittleEndian.PutUint64(hdr[16:24], sizes.payload)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("kb: snapshot header: %w", err)
+	}
+
+	sw := &snapWriter{w: bw}
+	sw.u32(uint32(len(k.name)))
+	sw.bytes([]byte(k.name))
+	sw.u32(uint32(len(k.entityNames)))
+	sw.u32(uint32(len(k.attrNames)))
+	sw.u32(uint32(len(k.relNames)))
+	sw.u32(uint32(len(sizes.values)))
+	sw.u64(uint64(k.nAttrTriples))
+	sw.u64(uint64(k.nRelTriples))
+	sw.strTable(k.entityNames)
+	sw.strTable(k.entityLabel)
+	sw.strTable(k.entityType)
+	sw.strTable(k.attrNames)
+	sw.strTable(k.relNames)
+	sw.strTable(sizes.values)
+	for u := range k.entityNames {
+		for _, a := range k.Attrs(EntityID(u)) {
+			for _, v := range k.AttrValues(EntityID(u), a) {
+				sw.u32(uint32(u))
+				sw.u32(uint32(a))
+				sw.u32(sizes.valueID[v])
+			}
+		}
+	}
+	for u := range k.entityNames {
+		for _, r := range k.OutRels(EntityID(u)) {
+			for _, v := range k.Out(EntityID(u), r) {
+				sw.u32(uint32(u))
+				sw.u32(uint32(r))
+				sw.u32(uint32(v))
+			}
+		}
+	}
+	if sw.err != nil {
+		return fmt.Errorf("kb: snapshot payload: %w", sw.err)
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], sw.crc)
+	if _, err := bw.Write(tr[:]); err != nil {
+		return fmt.Errorf("kb: snapshot trailer: %w", err)
+	}
+	return bw.Flush()
+}
+
+// snapReader decodes payload sections with bounds checking; the first
+// violation latches an error and every later read returns zero values.
+type snapReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (sr *snapReader) fail(format string, args ...any) {
+	if sr.err == nil {
+		sr.err = fmt.Errorf("kb: snapshot: "+format, args...)
+	}
+}
+
+func (sr *snapReader) take(n int) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	if n < 0 || sr.pos+n > len(sr.data) {
+		sr.fail("truncated payload: need %d bytes at offset %d of %d", n, sr.pos, len(sr.data))
+		return nil
+	}
+	b := sr.data[sr.pos : sr.pos+n]
+	sr.pos += n
+	return b
+}
+
+func (sr *snapReader) u32() uint32 {
+	b := sr.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (sr *snapReader) u64() uint64 {
+	b := sr.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// strTable reads a table of n strings. All entries slice one shared
+// backing string, so decoding allocates O(1) per table, not per entry.
+func (sr *snapReader) strTable(n int) []string {
+	blobLen := sr.u64()
+	if sr.err != nil {
+		return nil
+	}
+	if blobLen > uint64(len(sr.data)-sr.pos) {
+		sr.fail("string blob of %d bytes overruns payload", blobLen)
+		return nil
+	}
+	blob := string(sr.take(int(blobLen)))
+	out := make([]string, n)
+	prev := sr.u32()
+	if prev != 0 {
+		sr.fail("string table does not start at offset 0")
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		end := sr.u32()
+		if sr.err != nil {
+			return nil
+		}
+		if end < prev || uint64(end) > blobLen {
+			sr.fail("string table offset %d out of order (prev %d, blob %d)", end, prev, blobLen)
+			return nil
+		}
+		out[i] = blob[prev:end]
+		prev = end
+	}
+	if uint64(prev) != blobLen {
+		sr.fail("string table covers %d of %d blob bytes", prev, blobLen)
+		return nil
+	}
+	return out
+}
+
+// ReadSnapshot decodes a binary KB snapshot produced by WriteSnapshot,
+// validating the magic, version, declared payload length, CRC, every
+// section bound and the canonical triple ordering before trusting any of
+// it. The returned KB is fully functional (all indexes rebuilt).
+func ReadSnapshot(data []byte) (*KB, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("kb: snapshot: %d bytes is shorter than the %d-byte envelope", len(data), headerLen+trailerLen)
+	}
+	if string(data[:8]) != snapshotMagic {
+		return nil, fmt.Errorf("kb: snapshot: bad magic %q (not a Remp KB snapshot)", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != snapshotVersion {
+		return nil, fmt.Errorf("kb: snapshot: unsupported version %d (this build reads version %d)", v, snapshotVersion)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[16:24])
+	if payloadLen != uint64(len(data)-headerLen-trailerLen) {
+		return nil, fmt.Errorf("kb: snapshot: header declares %d payload bytes, file carries %d", payloadLen, len(data)-headerLen-trailerLen)
+	}
+	payload := data[headerLen : headerLen+int(payloadLen)]
+	wantCRC := binary.LittleEndian.Uint32(data[headerLen+int(payloadLen):])
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("kb: snapshot: payload CRC mismatch (want %08x, got %08x): file is corrupt", wantCRC, got)
+	}
+
+	sr := &snapReader{data: payload}
+	name := string(sr.take(int(sr.u32())))
+	nEntities := int(sr.u32())
+	nAttrs := int(sr.u32())
+	nRels := int(sr.u32())
+	nValues := int(sr.u32())
+	nAttrTriples := sr.u64()
+	nRelTriples := sr.u64()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if want := 12*(nAttrTriples+nRelTriples) +
+		strTableSizeBound(nEntities)*3 + strTableSizeBound(nAttrs) +
+		strTableSizeBound(nRels) + strTableSizeBound(nValues); want > uint64(len(payload)) {
+		return nil, fmt.Errorf("kb: snapshot: declared counts need at least %d payload bytes, have %d", want, len(payload))
+	}
+
+	k := New(name)
+	k.entityNames = sr.strTable(nEntities)
+	k.entityLabel = sr.strTable(nEntities)
+	k.entityType = sr.strTable(nEntities)
+	k.attrNames = sr.strTable(nAttrs)
+	k.relNames = sr.strTable(nRels)
+	values := sr.strTable(nValues)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	for i, n := range k.entityNames {
+		if _, dup := k.entityIdx[n]; dup {
+			return nil, fmt.Errorf("kb: snapshot: duplicate entity name %q", n)
+		}
+		k.entityIdx[n] = EntityID(i)
+	}
+	for i, n := range k.attrNames {
+		k.attrIdx[n] = AttrID(i)
+	}
+	for i, n := range k.relNames {
+		k.relIdx[n] = RelID(i)
+	}
+	k.attrValues = make([]map[AttrID][]string, nEntities)
+	k.relOut = make([]map[RelID][]EntityID, nEntities)
+	k.relIn = make([]map[RelID][]EntityID, nEntities)
+
+	// Attribute triples arrive in canonical (entity, attribute, value)
+	// order, so value lists rebuild by direct append — the order check
+	// doubles as the duplicate check.
+	var prevU, prevA, prevV uint32
+	for i := uint64(0); i < nAttrTriples; i++ {
+		u, a, vi := sr.u32(), sr.u32(), sr.u32()
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		if int(u) >= nEntities || int(a) >= nAttrs || int(vi) >= nValues {
+			return nil, fmt.Errorf("kb: snapshot: attr triple %d (%d,%d,%d) out of range", i, u, a, vi)
+		}
+		if i > 0 && !attrTripleLess(prevU, prevA, values[prevV], u, a, values[vi]) {
+			return nil, fmt.Errorf("kb: snapshot: attr triple %d out of canonical order", i)
+		}
+		m := k.attrValues[u]
+		if m == nil {
+			m = make(map[AttrID][]string, 2)
+			k.attrValues[u] = m
+		}
+		m[AttrID(a)] = append(m[AttrID(a)], values[vi])
+		prevU, prevA, prevV = u, a, vi
+	}
+	k.nAttrTriples = int(nAttrTriples)
+
+	var pu, pr, pv uint32
+	for i := uint64(0); i < nRelTriples; i++ {
+		u, r, v := sr.u32(), sr.u32(), sr.u32()
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		if int(u) >= nEntities || int(r) >= nRels || int(v) >= nEntities {
+			return nil, fmt.Errorf("kb: snapshot: rel triple %d (%d,%d,%d) out of range", i, u, r, v)
+		}
+		if i > 0 && !tripleLess(pu, pr, pv, u, r, v) {
+			return nil, fmt.Errorf("kb: snapshot: rel triple %d out of canonical order", i)
+		}
+		mo := k.relOut[u]
+		if mo == nil {
+			mo = make(map[RelID][]EntityID, 2)
+			k.relOut[u] = mo
+		}
+		mo[RelID(r)] = append(mo[RelID(r)], EntityID(v))
+		mi := k.relIn[v]
+		if mi == nil {
+			mi = make(map[RelID][]EntityID, 2)
+			k.relIn[v] = mi
+		}
+		mi[RelID(r)] = append(mi[RelID(r)], EntityID(u))
+		pu, pr, pv = u, r, v
+	}
+	k.nRelTriples = int(nRelTriples)
+	if sr.pos != len(payload) {
+		return nil, fmt.Errorf("kb: snapshot: %d trailing payload bytes", len(payload)-sr.pos)
+	}
+	// Incoming lists appended in subject order are sorted per (object,
+	// rel) only within one subject sweep; verify globally (cheap, and the
+	// blocking/propagation layers rely on it).
+	for v := range k.relIn {
+		for r, subs := range k.relIn[v] {
+			if !sort.SliceIsSorted(subs, func(i, j int) bool { return subs[i] < subs[j] }) {
+				return nil, fmt.Errorf("kb: snapshot: incoming list of entity %d rel %d not sorted", v, r)
+			}
+		}
+	}
+	return k, nil
+}
+
+// strTableSizeBound is the minimal byte size of an n-entry string table
+// (empty blob), used for a cheap up-front sanity bound on declared counts.
+func strTableSizeBound(n int) uint64 { return 8 + 4*uint64(n+1) }
+
+func attrTripleLess(u1, a1 uint32, v1 string, u2, a2 uint32, v2 string) bool {
+	if u1 != u2 {
+		return u1 < u2
+	}
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return v1 < v2
+}
+
+func tripleLess(u1, r1, v1, u2, r2, v2 uint32) bool {
+	if u1 != u2 {
+		return u1 < u2
+	}
+	if r1 != r2 {
+		return r1 < r2
+	}
+	return v1 < v2
+}
+
+// OpenSnapshot reads and validates a snapshot file written by
+// WriteSnapshotFile. The whole file is read in one syscall and decoded
+// over the single buffer (string tables slice it rather than copying
+// entry by entry), so reopening a large KB is I/O-bound, not parse-bound.
+func OpenSnapshot(path string) (*KB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	k, err := ReadSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return k, nil
+}
+
+// WriteSnapshotFile atomically writes the KB snapshot to path using the
+// repo's durable-write protocol: tmp file, fsync, rename over the target,
+// directory fsync. A crash at any boundary leaves either the old file or
+// the new one, never a torn snapshot.
+func (k *KB) WriteSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := k.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

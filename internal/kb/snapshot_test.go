@@ -1,0 +1,150 @@
+package kb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var snapLiterals = []string{
+	"", "hello world", "42", "3.14", "1999", "2001-05-03",
+	"café naïve", "北京", "a\tb", "multi word value", "O'Neill", "🦀",
+}
+
+// randSnapKB builds a KB exercising every snapshot section: labels,
+// types, multi-valued attributes, relations in both directions, unicode
+// and empty strings.
+func randSnapKB(r *rand.Rand, name string, n int) *KB {
+	k := New(name)
+	var attrs []AttrID
+	for a := 0; a < 3; a++ {
+		attrs = append(attrs, k.AddAttr(fmt.Sprintf("attr%d", a)))
+	}
+	var rels []RelID
+	for i := 0; i < 2; i++ {
+		rels = append(rels, k.AddRel(fmt.Sprintf("rel%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		u := k.AddEntity(fmt.Sprintf("%s:e%d", name, i))
+		if r.Intn(4) > 0 {
+			k.SetLabel(u, snapLiterals[r.Intn(len(snapLiterals))])
+		}
+		if r.Intn(3) == 0 {
+			k.SetType(u, "type"+fmt.Sprint(r.Intn(3)))
+		}
+		for _, a := range attrs {
+			for v := r.Intn(3); v > 0; v-- {
+				k.AddAttrTriple(u, a, snapLiterals[r.Intn(len(snapLiterals))])
+			}
+		}
+	}
+	for i := 0; i < n*2; i++ {
+		u := EntityID(r.Intn(n))
+		v := EntityID(r.Intn(n))
+		k.AddRelTriple(u, rels[r.Intn(len(rels))], v)
+	}
+	return k
+}
+
+// tsvOf canonicalizes a KB through its TSV serialization, which covers
+// every field the snapshot must preserve.
+func tsvOf(t *testing.T, k *KB) string {
+	t.Helper()
+	var b strings.Builder
+	if err := k.WriteTSV(&b); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	return b.String()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 60} {
+		r := rand.New(rand.NewSource(int64(n)))
+		k := randSnapKB(r, "snapkb", n)
+		var buf bytes.Buffer
+		if err := k.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("n=%d WriteSnapshot: %v", n, err)
+		}
+		got, err := ReadSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatalf("n=%d ReadSnapshot: %v", n, err)
+		}
+		if got.Name() != k.Name() {
+			t.Fatalf("n=%d name %q != %q", n, got.Name(), k.Name())
+		}
+		if got.NumAttrTriples() != k.NumAttrTriples() || got.NumRelTriples() != k.NumRelTriples() {
+			t.Fatalf("n=%d triple counts diverge", n)
+		}
+		if want, have := tsvOf(t, k), tsvOf(t, got); want != have {
+			t.Fatalf("n=%d round-trip TSV diverges:\nwant:\n%s\ngot:\n%s", n, want, have)
+		}
+		// Index maps must be rebuilt: lookups by name resolve.
+		for u := 0; u < k.NumEntities(); u++ {
+			if got.Entity(k.EntityName(EntityID(u))) != EntityID(u) {
+				t.Fatalf("n=%d entity index not rebuilt for %d", n, u)
+			}
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	k := randSnapKB(r, "filekb", 20)
+	path := filepath.Join(t.TempDir(), "kb"+SnapshotExt)
+	if err := k.WriteSnapshotFile(path); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	got, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if want, have := tsvOf(t, k), tsvOf(t, got); want != have {
+		t.Fatal("file round-trip TSV diverges")
+	}
+}
+
+// TestSnapshotRejectsCorruption: every single-byte flip and every
+// truncation must fail loudly, never return a silently wrong KB.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	k := randSnapKB(r, "corrupt", 12)
+	var buf bytes.Buffer
+	if err := k.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	good := buf.Bytes()
+	want := tsvOf(t, k)
+
+	if _, err := ReadSnapshot(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	for cut := 0; cut < len(good); cut += 7 {
+		if _, err := ReadSnapshot(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := ReadSnapshot(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	flipped := 0
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte{}, good...)
+		bad[i] ^= 0x40
+		got, err := ReadSnapshot(bad)
+		if err != nil {
+			flipped++
+			continue
+		}
+		// A flip the CRC cannot see does not exist; a flip that still
+		// yields the same KB bytes would be a CRC collision miracle.
+		if tsvOf(t, got) != want {
+			t.Fatalf("flip at %d silently changed the KB", i)
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("no byte flip was ever rejected")
+	}
+}

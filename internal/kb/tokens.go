@@ -1,0 +1,46 @@
+package kb
+
+// TokenID is a dense interned token identifier. The pre-pipeline interns
+// every label token once at load through a TokenDict and works on []TokenID
+// everywhere downstream: posting lists, Jaccard intersections and block
+// keys all compare 4-byte integers instead of re-hashing strings per pair.
+type TokenID uint32
+
+// TokenDict interns strings to dense TokenIDs. IDs are assigned in first-
+// intern order starting at 0, so a dictionary built by one deterministic
+// pass over a KB is itself deterministic. The zero value is not usable;
+// construct with NewTokenDict. A TokenDict is safe for concurrent reads
+// once interning finishes; Intern calls must not race with anything.
+type TokenDict struct {
+	idx   map[string]TokenID
+	names []string
+}
+
+// NewTokenDict returns an empty dictionary.
+func NewTokenDict() *TokenDict {
+	return &TokenDict{idx: make(map[string]TokenID)}
+}
+
+// Intern returns the ID of tok, assigning the next dense ID on first
+// sight.
+func (d *TokenDict) Intern(tok string) TokenID {
+	if id, ok := d.idx[tok]; ok {
+		return id
+	}
+	id := TokenID(len(d.names))
+	d.idx[tok] = id
+	d.names = append(d.names, tok)
+	return id
+}
+
+// ID returns the ID of tok and whether it has been interned.
+func (d *TokenDict) ID(tok string) (TokenID, bool) {
+	id, ok := d.idx[tok]
+	return id, ok
+}
+
+// Name returns the string interned as id.
+func (d *TokenDict) Name(id TokenID) string { return d.names[id] }
+
+// Len returns the number of interned tokens.
+func (d *TokenDict) Len() int { return len(d.names) }

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Docs enforces the repository's documentation floor:
+//
+//   - Rule A: every package in the module carries a package doc comment
+//     (on any one of its non-test files, per godoc convention). Seven
+//     PRs of subsystems make the package comment the only place a
+//     reader can get oriented without opening the code.
+//
+//   - Rule B: every exported symbol of the public remp package — the
+//     one importers see — is documented: types, functions, methods on
+//     exported types, and const/var declarations (a doc comment on the
+//     enclosing grouped declaration covers its specs, as godoc renders
+//     it).
+//
+// Internal packages only need the package comment; their exported
+// symbols are module-private API and the existing review bar covers
+// them. Test files never count: the analyzer sees the same GoFiles the
+// go tool ships to importers.
+var Docs = &analysis.Analyzer{
+	Name: "docs",
+	Doc:  "requires package doc comments module-wide and complete godoc on the public remp package",
+	Run:  runDocs,
+}
+
+func runDocs(pass *analysis.Pass) error {
+	if !pass.Reportable {
+		return nil // exports no facts
+	}
+	hasDoc := false
+	for _, file := range pass.Files {
+		if file.Doc != nil && len(file.Doc.List) > 0 {
+			hasDoc = true
+			break
+		}
+	}
+	if !hasDoc && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package doc comment", pass.Pkg.Name())
+	}
+	// Rule B keys on the package name, not the import path, so the
+	// fixture package (package remp under a fixture path) exercises it.
+	if pass.Pkg.Name() != "remp" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			checkDeclDocs(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkDeclDocs implements Rule B for one top-level declaration.
+func checkDeclDocs(pass *analysis.Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil || len(d.Doc.List) == 0 {
+			pass.Reportf(d.Name.Pos(), "exported %s %s of package remp has no doc comment", funcKind(d), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil && len(d.Doc.List) > 0
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && (s.Doc == nil || len(s.Doc.List) == 0) {
+					pass.Reportf(s.Name.Pos(), "exported type %s of package remp has no doc comment", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if groupDoc || (s.Doc != nil && len(s.Doc.List) > 0) {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						pass.Reportf(name.Pos(), "exported %s of package remp has no doc comment", name.Name)
+						break // one finding per spec line is enough
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether d is a plain function or a method on
+// an exported type; methods on unexported types are not public API.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

@@ -15,6 +15,9 @@
 //     is held.
 //   - indextypes: int32 CSR indices stay narrow — no widening into int
 //     map keys, no map[int]float64 accumulators over dense ids.
+//   - docs: every package carries a package doc comment, and every
+//     exported symbol of the public remp package is documented — the
+//     documentation floor ARCHITECTURE.md builds on.
 //
 // Run the suite with:
 //
@@ -42,5 +45,6 @@ func Analyzers() []*analysis.Analyzer {
 		Hotpath,
 		WALDurability,
 		IndexTypes,
+		Docs,
 	}
 }

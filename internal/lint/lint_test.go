@@ -41,6 +41,10 @@ func TestIndexTypes(t *testing.T) {
 	linttest.Run(t, fixtures(t), lint.IndexTypes, "idx")
 }
 
+func TestDocs(t *testing.T) {
+	linttest.Run(t, fixtures(t), lint.Docs, "docsnone", "docsremp")
+}
+
 // TestSuiteCleanOnRepo is the smoke test backing the CI gate: the full
 // suite over the real module must come out clean. There is no
 // suppression mechanism, so any finding here is a regression (or an

@@ -1,0 +1,7 @@
+package docsnone // want `package docsnone has no package doc comment`
+
+// Helper is documented, but Rule B does not apply outside package remp —
+// only the missing package comment above is a finding.
+func Helper() int { return 1 }
+
+func Undocumented() int { return 2 }

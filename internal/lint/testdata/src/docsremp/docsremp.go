@@ -1,0 +1,35 @@
+// Package remp exercises Rule B of the docs analyzer: every exported
+// symbol of the public package must carry a doc comment.
+package remp
+
+// Resolver is documented and passes.
+type Resolver struct{ n int }
+
+type Options struct{} // want `exported type Options of package remp has no doc comment`
+
+// Run is documented and passes.
+func Run() {}
+
+func Stop() {} // want `exported function Stop of package remp has no doc comment`
+
+// Count is documented and passes.
+func (r *Resolver) Count() int { return r.n }
+
+func (r *Resolver) Reset() { r.n = 0 } // want `exported method Reset of package remp has no doc comment`
+
+// internalState is unexported: neither it nor its methods are public API.
+type internalState struct{}
+
+func (internalState) Tick() {}
+
+// Grouped declarations are covered by a doc comment on the group, the
+// way godoc renders them.
+const (
+	ModeSync  = 1
+	ModeAsync = 2
+)
+
+var Default = &Resolver{} // want `exported Default of package remp has no doc comment`
+
+// limit is unexported and needs nothing.
+var limit = 10

@@ -10,6 +10,14 @@ const (
 	// StagePrepare is ER graph construction + propagation modeling
 	// (core.Prepare), paid once per session.
 	StagePrepare Stage = iota
+	// StageBlock is Prepare's candidate-generation sub-stage: token
+	// interning, inverted-index build and the Jaccard scan (§IV-B).
+	StageBlock
+	// StageSimilarity is Prepare's similarity sub-stage: attribute
+	// matching over the initial matches, similarity-vector assembly and
+	// partial-order pruning (§IV-C/D). Block and similarity spans nest
+	// inside the enclosing prepare span.
+	StageSimilarity
 	// StageInfer is the loop top's propagation work: engine Sync
 	// (incremental recompute or rebuild) plus candidate gathering.
 	StageInfer
@@ -31,6 +39,10 @@ func (s Stage) String() string {
 	switch s {
 	case StagePrepare:
 		return "prepare"
+	case StageBlock:
+		return "block"
+	case StageSimilarity:
+		return "similarity"
 	case StageInfer:
 		return "infer"
 	case StageSelect:

@@ -8,6 +8,8 @@
 package simvec
 
 import (
+	"runtime"
+
 	"repro/internal/attrmatch"
 	"repro/internal/kb"
 	"repro/internal/pair"
@@ -58,11 +60,33 @@ func (s Vector) Equal(t Vector) bool {
 	return true
 }
 
+// Runner runs n independent tasks, possibly in parallel. *core.Scheduler
+// satisfies it; simvec declares its own interface because core imports
+// this package.
+type Runner interface {
+	ForEach(n int, fn func(i int))
+}
+
 // Builder computes similarity vectors for candidate pairs.
 type Builder struct {
 	k1, k2    *kb.KB
 	matches   []attrmatch.Match
 	threshold float64
+	runner    Runner
+
+	// Batch state, built lazily by All: each distinct (entity, attribute)
+	// value set is interned into the corpus exactly once, so the SimL of
+	// millions of pairs runs on cached kinds, parsed values and dense
+	// token IDs instead of re-tokenizing strings per comparison.
+	corpus *strsim.Corpus
+	lits1  map[valKey][]strsim.LitID
+	lits2  map[valKey][]strsim.LitID
+}
+
+// valKey addresses one entity's value set on one attribute.
+type valKey struct {
+	u kb.EntityID
+	a kb.AttrID
 }
 
 // NewBuilder returns a Builder over the given attribute matches;
@@ -77,7 +101,12 @@ func NewBuilder(k1, k2 *kb.KB, matches []attrmatch.Match, literalThreshold float
 // Dim returns the vector dimensionality |Mat|.
 func (b *Builder) Dim() int { return len(b.matches) }
 
-// Vector computes s(u1,u2).
+// SetRunner makes All compute vectors in parallel. The output is
+// byte-identical either way; nil (the default) means serial.
+func (b *Builder) SetRunner(r Runner) { b.runner = r }
+
+// Vector computes s(u1,u2). It is the retained per-pair string
+// implementation — the semantic anchor the property tests hold All to.
 func (b *Builder) Vector(p pair.Pair) Vector {
 	v := make(Vector, len(b.matches))
 	for i, m := range b.matches {
@@ -91,13 +120,91 @@ func (b *Builder) Vector(p pair.Pair) Vector {
 	return v
 }
 
-// All computes vectors for every pair, preserving order.
+// All computes vectors for every pair, preserving order. It runs the
+// batched path: one serial pass interns every needed value set into the
+// builder's corpus, then pair vectors are computed — in parallel when a
+// Runner is set — from cached dense literal IDs. Each out[i] is
+// byte-identical to Vector(pairs[i]).
 func (b *Builder) All(pairs []pair.Pair) []Vector {
 	out := make([]Vector, len(pairs))
-	for i, p := range pairs {
-		out[i] = b.Vector(p)
+	if len(pairs) == 0 {
+		return out
+	}
+	if b.corpus == nil {
+		b.corpus = strsim.NewCorpus()
+		b.lits1 = make(map[valKey][]strsim.LitID)
+		b.lits2 = make(map[valKey][]strsim.LitID)
+	}
+	// Interning mutates the corpus, so it stays serial; the scoring pass
+	// below only reads it.
+	for _, p := range pairs {
+		for _, m := range b.matches {
+			b.intern(b.lits1, b.k1, p.U1, m.A1)
+			b.intern(b.lits2, b.k2, p.U2, m.A2)
+		}
+	}
+	chunks := chunkRanges(len(pairs), b.runner)
+	runAll(b.runner, len(chunks), func(ci int) {
+		var sc strsim.MatchScratch
+		for i := chunks[ci].lo; i < chunks[ci].hi; i++ {
+			p := pairs[i]
+			v := make(Vector, len(b.matches))
+			for mi, m := range b.matches {
+				va := b.lits1[valKey{u: p.U1, a: m.A1}]
+				vb := b.lits2[valKey{u: p.U2, a: m.A2}]
+				if len(va) == 0 || len(vb) == 0 {
+					continue
+				}
+				v[mi] = b.corpus.SimL(va, vb, b.threshold, &sc)
+			}
+			out[i] = v
+		}
+	})
+	return out
+}
+
+// intern caches the dense literal IDs of one (entity, attribute) value
+// set, interning the literals on first sight.
+func (b *Builder) intern(cache map[valKey][]strsim.LitID, k *kb.KB, u kb.EntityID, a kb.AttrID) {
+	key := valKey{u: u, a: a}
+	if _, ok := cache[key]; ok {
+		return
+	}
+	cache[key] = b.corpus.InternAll(k.AttrValues(u, a))
+}
+
+// chunkRange is a half-open [lo, hi) range of pair indexes.
+type chunkRange struct{ lo, hi int }
+
+// chunkRanges splits n pairs into contiguous chunks: one per CPU when a
+// runner is present, a single chunk otherwise.
+func chunkRanges(n int, r Runner) []chunkRange {
+	if n == 0 {
+		return nil
+	}
+	nc := 1
+	if r != nil {
+		nc = runtime.NumCPU()
+		if nc > n {
+			nc = n
+		}
+	}
+	out := make([]chunkRange, nc)
+	for i := 0; i < nc; i++ {
+		out[i] = chunkRange{lo: i * n / nc, hi: (i + 1) * n / nc}
 	}
 	return out
+}
+
+// runAll executes fn(0..n-1) through r, or serially when r is nil.
+func runAll(r Runner, n int, fn func(int)) {
+	if r == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	r.ForEach(n, fn)
 }
 
 // SharedAttrMatches returns the indexes of attribute matches on which both

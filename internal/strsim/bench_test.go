@@ -1,0 +1,82 @@
+package strsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks anchoring the dense-ID fast paths against the retained
+// string implementations; benchreport gates both so the indexed path's
+// advantage (and its allocation profile) cannot silently erode.
+
+func benchValues(n int) []string {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%s %s item%d", words[rng.Intn(len(words))], words[rng.Intn(len(words))], rng.Intn(n/2+1))
+	}
+	return vals
+}
+
+func BenchmarkSimLStrings(b *testing.B) {
+	va, vb := benchValues(8), benchValues(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimL(va, vb, 0.5)
+	}
+}
+
+func BenchmarkSimLCorpus(b *testing.B) {
+	va, vb := benchValues(8), benchValues(8)
+	c := NewCorpus()
+	ia, ib := c.InternAll(va), c.InternAll(vb)
+	var sc MatchScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SimL(ia, ib, 0.5, &sc)
+	}
+}
+
+func BenchmarkLevenshteinFull(b *testing.B) {
+	s, t := "relational match propagation", "relational batch propagation"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(s, t)
+	}
+}
+
+func BenchmarkLevenshteinBounded(b *testing.B) {
+	s, t := "relational match propagation", "relational batch propagation"
+	var sc EditScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LevenshteinBounded(s, t, 5, &sc)
+	}
+}
+
+func BenchmarkJaccardStrings(b *testing.B) {
+	va := TokenSet("the quick brown fox jumps over the lazy dog")
+	vb := TokenSet("the quick brown cat sleeps under the lazy dog")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Jaccard(va, vb)
+	}
+}
+
+func BenchmarkJaccardIDs(b *testing.B) {
+	c := NewCorpus()
+	ia := c.internTokens("the quick brown fox jumps over the lazy dog")
+	ib := c.internTokens("the quick brown cat sleeps under the lazy dog")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JaccardIDs(ia, ib)
+	}
+}

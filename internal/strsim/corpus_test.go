@@ -1,0 +1,82 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hostileLiterals spans every Classify kind plus edge cases: numbers with
+// whitespace, dates in all accepted shapes, near-dates that fall back to
+// strings, unicode text and empties.
+var hostileLiterals = []string{
+	"", " ", "hello world", "Hello, World!", "the running cities",
+	"42", " 42 ", "-3.14", "3.14", "0", "1e3", "0.0001",
+	"1999", "2001-05-03", "2001/05/03", "2001-5-3", "1984",
+	"2001-13-03", "0000", "12345", "99-99-99",
+	"café au lait", "北京 市", "naïve — résumé", "🦀 crab", "O'Neill",
+	"same same same", "a b c d e f", "ALLCAPS TEXT",
+}
+
+func randLiteral(r *rand.Rand) string {
+	return hostileLiterals[r.Intn(len(hostileLiterals))]
+}
+
+func randLiteralSet(r *rand.Rand, max int) []string {
+	n := r.Intn(max + 1)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, randLiteral(r))
+	}
+	return out
+}
+
+// TestCorpusLiteralSimMatches: interned literal similarity is
+// byte-identical to LiteralSimilarity on the raw strings.
+func TestCorpusLiteralSimMatches(t *testing.T) {
+	c := NewCorpus()
+	ids := make([]LitID, len(hostileLiterals))
+	for i, lit := range hostileLiterals {
+		ids[i] = c.Intern(lit)
+	}
+	for i, a := range hostileLiterals {
+		for j, b := range hostileLiterals {
+			want := LiteralSimilarity(a, b)
+			got := c.LiteralSim(ids[i], ids[j])
+			if got != want {
+				t.Fatalf("LiteralSim(%q, %q) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestCorpusSimLMatches: the batched simL over interned sets reproduces
+// SimL exactly — same greedy pairing, same floats — across randomized
+// value sets and thresholds.
+func TestCorpusSimLMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	c := NewCorpus()
+	var sc MatchScratch
+	for i := 0; i < 3000; i++ {
+		va := randLiteralSet(r, 5)
+		vb := randLiteralSet(r, 5)
+		threshold := float64(r.Intn(11)) / 10
+		want := SimL(va, vb, threshold)
+		got := c.SimL(c.InternAll(va), c.InternAll(vb), threshold, &sc)
+		if got != want {
+			t.Fatalf("Corpus SimL(%q, %q, %v) = %v, want %v", va, vb, threshold, got, want)
+		}
+	}
+}
+
+// TestCorpusInternIdempotent: re-interning returns the same ID.
+func TestCorpusInternIdempotent(t *testing.T) {
+	c := NewCorpus()
+	a := c.Intern("hello world")
+	b := c.Intern("other")
+	if c.Intern("hello world") != a || c.Intern("other") != b {
+		t.Fatal("re-interning changed IDs")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}

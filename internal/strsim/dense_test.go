@@ -1,0 +1,133 @@
+package strsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var denseStrings = []string{
+	"", "a", "ab", "abc", "abcd", "kitten", "sitting", "flaw", "lawn",
+	"café", "cafe", "naïve", "naive", "北京", "北京市", "東京都", "🦀🦀", "🦀",
+	"supercalifragilistic", "supercalifragilistiX",
+	"aaaaaaaaaa", "aaaaabaaaa", "identical", "identical",
+}
+
+func randDenseString(r *rand.Rand) string {
+	alphabet := []rune("abcdé北🦀")
+	n := r.Intn(12)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+// TestLevenshteinBoundedMatchesFull: for any bound, the banded DP returns
+// the exact distance when it is within the bound and bound+1 otherwise.
+func TestLevenshteinBoundedMatchesFull(t *testing.T) {
+	var sc EditScratch
+	check := func(a, b string, bound int) {
+		t.Helper()
+		full := Levenshtein(a, b)
+		got := LevenshteinBounded(a, b, bound, &sc)
+		want := full
+		if full > bound {
+			want = bound + 1
+		}
+		if got != want {
+			t.Fatalf("LevenshteinBounded(%q, %q, %d) = %d, want %d (full %d)", a, b, bound, got, want, full)
+		}
+	}
+	for _, a := range denseStrings {
+		for _, b := range denseStrings {
+			for bound := 0; bound <= 8; bound++ {
+				check(a, b, bound)
+			}
+			check(a, b, 100)
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := randDenseString(r), randDenseString(r)
+		check(a, b, r.Intn(10))
+	}
+}
+
+// TestEditSimilarityBounded: exact when reported exact, an upper bound
+// otherwise; the exact value must be byte-identical to EditSimilarity.
+func TestEditSimilarityBounded(t *testing.T) {
+	var sc EditScratch
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		a, b := randDenseString(r), randDenseString(r)
+		minSim := float64(r.Intn(11)) / 10
+		full := EditSimilarity(a, b)
+		got, exact := EditSimilarityBounded(a, b, minSim, &sc)
+		if exact {
+			if got != full {
+				t.Fatalf("EditSimilarityBounded(%q, %q, %v) exact %v != EditSimilarity %v", a, b, minSim, got, full)
+			}
+		} else {
+			if got < full {
+				t.Fatalf("EditSimilarityBounded(%q, %q, %v) bound %v below true %v", a, b, minSim, got, full)
+			}
+			if full >= minSim {
+				t.Fatalf("EditSimilarityBounded(%q, %q, %v) gave up although true sim %v >= minSim", a, b, minSim, full)
+			}
+		}
+	}
+}
+
+// TestJaccardIDsMatchesStrings: interning token sets to dense IDs leaves
+// the Jaccard float byte-identical.
+func TestJaccardIDsMatchesStrings(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		na, nb := r.Intn(8), r.Intn(8)
+		la := make([]string, 0, na)
+		lb := make([]string, 0, nb)
+		for j := 0; j < na; j++ {
+			la = append(la, fmt.Sprintf("t%d", r.Intn(10)))
+		}
+		for j := 0; j < nb; j++ {
+			lb = append(lb, fmt.Sprintf("t%d", r.Intn(10)))
+		}
+		sa, sb := TokenSet(joinSpace(la)), TokenSet(joinSpace(lb))
+		dict := map[string]uint32{}
+		intern := func(set []string) []uint32 {
+			if len(set) == 0 {
+				return nil
+			}
+			ids := make([]uint32, len(set))
+			for i, s := range set {
+				id, ok := dict[s]
+				if !ok {
+					id = uint32(len(dict))
+					dict[s] = id
+				}
+				ids[i] = id
+			}
+			sortUint32(ids)
+			return ids
+		}
+		ia, ib := intern(sa), intern(sb)
+		if got, want := JaccardIDs(ia, ib), Jaccard(sa, sb); got != want {
+			t.Fatalf("JaccardIDs %v != Jaccard %v for %v vs %v", got, want, sa, sb)
+		}
+		if ub := JaccardUpperBound(len(ia), len(ib)); ub < JaccardIDs(ia, ib) {
+			t.Fatalf("JaccardUpperBound %v below actual %v", ub, JaccardIDs(ia, ib))
+		}
+	}
+}
+
+func joinSpace(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
