@@ -15,6 +15,16 @@
 // The process exits 0 only when every session completed and matched
 // the oracle. The JSON report feeds cmd/benchreport -loadgen, which
 // records throughput in BENCH_remp.json and gates CI on divergence.
+//
+// With -cluster N the harness spawns its own cluster instead of driving
+// an external server: N remp-worker processes (-worker-bin), an
+// in-process clustered server over them, and optionally a SIGKILL of
+// worker 0 mid-run (-kill-worker-after) or frame-level fault injection
+// (-chaos). The oracle bar is unchanged — byte identity across process
+// boundaries, crashes and chaos:
+//
+//	remp-loadgen -cluster 3 -worker-bin ./remp-worker -sessions 4 \
+//	    -shards 6 -kill-worker-after 5 -chaos dup=10
 package main
 
 import (
@@ -23,8 +33,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/loadgen"
 	"repro/internal/server"
 )
@@ -47,13 +59,17 @@ func main() {
 	deadline := flag.Duration("deadline", 10*time.Minute, "overall run deadline")
 	jsonOut := flag.String("json", "", "write the JSON report to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	clusterN := flag.Int("cluster", 0, "spawn this many remp-worker processes and an in-process clustered server instead of driving -addr")
+	workerBin := flag.String("worker-bin", "remp-worker", "remp-worker binary to spawn (with -cluster)")
+	killAfter := flag.Int64("kill-worker-after", 0, "SIGKILL worker 0 after this many accepted answers (with -cluster; 0 = never)")
+	chaos := flag.String("chaos", "", "fault injection for cluster RPCs, e.g. drop=20,dup=10,delay=5:50ms (with -cluster)")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	report, err := loadgen.Run(loadgen.Config{
+	cfg := loadgen.Config{
 		BaseURL:      *addr,
 		Sessions:     *sessions,
 		Dataset:      *dataset,
@@ -68,13 +84,46 @@ func main() {
 		RetryTimeout: *retryTimeout,
 		Deadline:     *deadline,
 		Logf:         logf,
-	})
+	}
+
+	var report *loadgen.Report
+	var clusterRep *loadgen.ClusterReport
+	var err error
+	if *clusterN > 0 {
+		cc := loadgen.ClusterConfig{
+			Workers: *clusterN,
+			WorkerCmd: func(i int) *exec.Cmd {
+				return exec.Command(*workerBin, "-addr", "127.0.0.1:0")
+			},
+			KillAfterAnswers: *killAfter,
+		}
+		if *chaos != "" {
+			if cc.Faults, err = cluster.ParseFaults(*chaos); err != nil {
+				log.Fatal(err)
+			}
+		}
+		clusterRep, err = loadgen.RunCluster(cfg, cc)
+		if clusterRep != nil {
+			report = &clusterRep.Report
+		}
+	} else {
+		report, err = loadgen.Run(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	if clusterRep != nil {
+		fmt.Printf("loadgen: cluster of %d workers, killed=%v, %v reassignments, %v worker downs, %v rpc retries\n",
+			len(clusterRep.WorkerAddrs), clusterRep.KilledWorker,
+			clusterRep.Reassignments, clusterRep.WorkerDowns, clusterRep.RPCRetries)
+	}
 
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
+		var doc any = report
+		if clusterRep != nil {
+			doc = clusterRep
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,18 @@
 //
 //	remp-server -addr :8080 -store disk -data-dir ./remp-data
 //
+// With -workers the server runs in cluster mode: every session's shard
+// engines are placed on the remp-worker processes at the given
+// comma-separated addresses, with heartbeat liveness and crash failover
+// (a killed worker's shards are re-prepared on survivors and their
+// command logs replayed — results stay byte-identical):
+//
+//	remp-worker -addr :9101 & remp-worker -addr :9102 &
+//	remp-server -addr :8080 -workers localhost:9101,localhost:9102
+//
+// -chaos injects faults into coordinator→worker frames for drills, e.g.
+// -chaos drop=20,dup=10 (see internal/cluster.ParseFaults).
+//
 // With -store disk every session is journaled to the data directory:
 // each accepted answer is fsync'd to a write-ahead log before the HTTP
 // response, and a restarted server (even after a hard kill) recovers
@@ -45,9 +57,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the debug listener's DefaultServeMux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/session"
 )
@@ -62,6 +76,8 @@ func main() {
 	storeKind := flag.String("store", "mem", "session store backend: mem (in-memory) or disk (crash-safe WAL + snapshots)")
 	dataDir := flag.String("data-dir", "remp-data", "session store directory (with -store disk)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	workers := flag.String("workers", "", "comma-separated remp-worker addresses; enables cluster mode")
+	chaos := flag.String("chaos", "", "fault injection for cluster RPCs, e.g. drop=20,dup=10,delay=5:50ms,kill=500")
 	flag.Parse()
 
 	level := slog.LevelInfo
@@ -83,7 +99,23 @@ func main() {
 		log.Fatalf("unknown -store %q (want mem or disk)", *storeKind)
 	}
 
-	srv, recovered, err := server.NewServer(server.Config{Logger: logger, Store: store, DefaultShards: *shards})
+	cfg := server.Config{Logger: logger, Store: store, DefaultShards: *shards}
+	if *workers != "" {
+		cfg.Workers = strings.Split(*workers, ",")
+	}
+	if *chaos != "" {
+		faults, ferr := cluster.ParseFaults(*chaos)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		cfg.ClusterFaults = faults
+	}
+	srv, recovered, err := server.NewServer(cfg)
+	if srv == nil {
+		// Only configuration failures (e.g. an unusable cluster config)
+		// leave no server behind.
+		log.Fatal(err)
+	}
 	if err != nil {
 		// Recovery errors are non-fatal: the sessions that recovered are
 		// serving; the broken ones are reported and skipped.

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// backoff produces bounded exponential delays with equal jitter: attempt
+// n waits in [m/2, m) for m = min(Max, Base·2ⁿ). The jitter source is a
+// caller-owned seeded rand.Rand (never the global source — remp-lint's
+// determinism analyzer exempts this package, but retry timing still
+// should not contend on a process-wide lock).
+type backoff struct {
+	base    time.Duration
+	max     time.Duration
+	rng     *rand.Rand
+	attempt int
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay for the current attempt and advances the
+// counter. Delays stay within [m/2, m) and never exceed max.
+func (b *backoff) Next() time.Duration {
+	m := b.max
+	if shifted := b.base << uint(b.attempt); b.attempt < 32 && shifted < b.max {
+		m = shifted
+	}
+	if b.attempt < 1<<20 {
+		b.attempt++
+	}
+	half := m / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// Sleep waits out the next delay or returns the context's error early.
+func (b *backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Reset restarts the schedule after a success.
+func (b *backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds pins the equal-jitter envelope: attempt n draws
+// from [m/2, m] for m = min(max, base·2ⁿ), so retries never synchronize
+// and never exceed the cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	for seed := int64(1); seed <= 5; seed++ {
+		b := newBackoff(base, max, seed)
+		for attempt := 0; attempt < 12; attempt++ {
+			m := max
+			if shifted := base << uint(attempt); shifted < max {
+				m = shifted
+			}
+			d := b.Next()
+			if d < m/2 || d > m {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, attempt, d, m/2, m)
+			}
+		}
+	}
+}
+
+// TestBackoffCap pins that deep attempts saturate at max (no overflow of
+// the shift either).
+func TestBackoffCap(t *testing.T) {
+	b := newBackoff(time.Millisecond, 50*time.Millisecond, 1)
+	for i := 0; i < 100; i++ {
+		if d := b.Next(); d > 50*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds cap", i, d)
+		}
+	}
+}
+
+// TestBackoffReset pins that Reset restarts the schedule at the base.
+func TestBackoffReset(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, time.Second, 2)
+	for i := 0; i < 6; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d > 10*time.Millisecond {
+		t.Fatalf("first delay after Reset = %v, want ≤ base", d)
+	}
+}
+
+// TestBackoffDefaults pins the zero-value guards.
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, 0, 3)
+	if b.base <= 0 || b.max < b.base {
+		t.Fatalf("defaults not applied: base %v max %v", b.base, b.max)
+	}
+}
+
+// TestBackoffSleepCancellation pins that a canceled context interrupts
+// the wait immediately with the context's error.
+func TestBackoffSleepCancellation(t *testing.T) {
+	b := newBackoff(time.Hour, time.Hour, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not observe cancellation")
+	}
+}
+
+// TestBackoffSleepElapses pins that an uncanceled Sleep returns nil after
+// roughly the scheduled delay.
+func TestBackoffSleepElapses(t *testing.T) {
+	b := newBackoff(time.Millisecond, 2*time.Millisecond, 5)
+	if err := b.Sleep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

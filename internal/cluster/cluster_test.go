@@ -1,0 +1,407 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/datasets"
+	"repro/internal/obs"
+	"repro/internal/pair"
+)
+
+// testSpec is the session spec the test workers rebuild pipelines from:
+// a named synthetic dataset plus the config knobs the tests vary. Both
+// sides of every equivalence test — the coordinator's Prepared and each
+// worker's — are built from the same spec, exactly as the server wiring
+// does it.
+type testSpec struct {
+	Dataset string `json:"dataset"`
+	Seed    int64  `json:"seed"`
+	Shards  int    `json:"shards"`
+	Mu      int    `json:"mu"`
+	Hybrid  bool   `json:"hybrid,omitempty"`
+	Budget  int    `json:"budget,omitempty"`
+}
+
+func (s testSpec) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Shards = s.Shards
+	cfg.Mu = s.Mu
+	cfg.Hybrid = s.Hybrid
+	cfg.Budget = s.Budget
+	return cfg
+}
+
+func prepareFromSpec(raw []byte) (*core.Prepared, error) {
+	var s testSpec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	ds, err := datasets.ByName(s.Dataset, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.Prepare(ds.K1, ds.K2, s.config()), nil
+}
+
+// startWorker serves a Worker on a loopback listener.
+func startWorker(t *testing.T, faults *Faults) (string, *Worker) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(WorkerConfig{Prepare: prepareFromSpec, Faults: faults, Logf: t.Logf})
+	go w.Serve(ln)
+	t.Cleanup(func() { w.Close() })
+	return ln.Addr().String(), w
+}
+
+// testCoordinator builds a coordinator with test-speed timeouts.
+func testCoordinator(t *testing.T, addrs []string, faults *Faults, m *Metrics) *Coordinator {
+	t.Helper()
+	co, err := NewCoordinator(CoordinatorConfig{
+		Workers:           addrs,
+		HeartbeatInterval: 50 * time.Millisecond,
+		LivenessTimeout:   300 * time.Millisecond,
+		RPCTimeout:        500 * time.Millisecond,
+		OpTimeout:         30 * time.Second,
+		BackoffBase:       2 * time.Millisecond,
+		BackoffMax:        40 * time.Millisecond,
+		Faults:            faults,
+		Metrics:           m,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+func testMetrics() *Metrics {
+	return &Metrics{
+		WorkersLive:   &obs.Gauge{},
+		WorkerDowns:   &obs.Counter{},
+		RPCRetries:    &obs.Counter{},
+		Reassignments: &obs.Counter{},
+	}
+}
+
+// assertResultsIdentical is the byte-identity oracle check: every result
+// set, the question count and the loop count must match exactly.
+func assertResultsIdentical(t *testing.T, want, got *core.Result) {
+	t.Helper()
+	sets := []struct {
+		name      string
+		want, got pair.Set
+	}{
+		{"Matches", want.Matches, got.Matches},
+		{"Confirmed", want.Confirmed, got.Confirmed},
+		{"Propagated", want.Propagated, got.Propagated},
+		{"IsolatedPredicted", want.IsolatedPredicted, got.IsolatedPredicted},
+		{"NonMatches", want.NonMatches, got.NonMatches},
+	}
+	for _, s := range sets {
+		if s.want.Len() != s.got.Len() {
+			t.Fatalf("%s: %d pairs, want %d", s.name, s.got.Len(), s.want.Len())
+		}
+		for _, p := range s.want.Sorted() {
+			if !s.got.Has(p) {
+				t.Fatalf("%s: missing %v", s.name, p)
+			}
+		}
+	}
+	if want.Questions != got.Questions {
+		t.Fatalf("Questions = %d, want %d", got.Questions, want.Questions)
+	}
+	if want.Loops != got.Loops {
+		t.Fatalf("Loops = %d, want %d", got.Loops, want.Loops)
+	}
+}
+
+// runLocal is the oracle: the same spec resolved by the in-process runner.
+func runLocal(t *testing.T, spec testSpec, asker core.Asker) *core.Result {
+	t.Helper()
+	ds, err := datasets.ByName(spec.Dataset, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Prepare(ds.K1, ds.K2, spec.config()).Run(asker)
+}
+
+// runRemote resolves the spec with the shard engines on the coordinator's
+// workers.
+func runRemote(t *testing.T, co *Coordinator, spec testSpec, asker core.Asker, progress func(questions int)) *core.Result {
+	t.Helper()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := datasets.ByName(spec.Dataset, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.config()
+	cfg.Runner = co.Runner(raw)
+	if progress != nil {
+		cfg.Progress = func(questions int, _ pair.Set) { progress(questions) }
+	}
+	p := core.Prepare(ds.K1, ds.K2, cfg)
+	if p.NumShards() < 2 {
+		t.Fatalf("fixture produced %d shards, want ≥ 2", p.NumShards())
+	}
+	return p.Run(asker)
+}
+
+func oracleFor(t *testing.T, spec testSpec) *core.OracleAsker {
+	t.Helper()
+	ds, err := datasets.ByName(spec.Dataset, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewOracleAsker(ds.Gold.IsMatch)
+}
+
+// TestRemoteRunnerMatchesLocal is the cluster's oracle-equivalence
+// guarantee on a healthy cluster: a run whose shard engines live on two
+// worker processes resolves byte-identically to the synchronous
+// in-process run, across config variants that exercise every RPC (rank,
+// gather, ball, rebuild via re-estimation, damp via the hybrid path).
+func TestRemoteRunnerMatchesLocal(t *testing.T) {
+	cases := []struct {
+		name string
+		spec testSpec
+	}{
+		{"default", testSpec{Dataset: "books", Seed: 7, Shards: 4, Mu: 4}},
+		{"hybrid", testSpec{Dataset: "books", Seed: 8, Shards: 3, Mu: 5, Hybrid: true}},
+		{"budgeted", testSpec{Dataset: "books", Seed: 9, Shards: 4, Mu: 3, Budget: 25}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a1, _ := startWorker(t, nil)
+			a2, _ := startWorker(t, nil)
+			co := testCoordinator(t, []string{a1, a2}, nil, testMetrics())
+			ref := runLocal(t, tc.spec, oracleFor(t, tc.spec))
+			got := runRemote(t, co, tc.spec, oracleFor(t, tc.spec), nil)
+			assertResultsIdentical(t, ref, got)
+		})
+	}
+}
+
+// TestRemoteRunnerMatchesLocalNoisyCrowd repeats the equivalence check
+// with a fallible simulated crowd, so hard-question damping and non-match
+// detaches travel the wire too.
+func TestRemoteRunnerMatchesLocalNoisyCrowd(t *testing.T) {
+	spec := testSpec{Dataset: "books", Seed: 11, Shards: 4, Mu: 4}
+	crowdFor := func() *crowd.Platform {
+		ds, err := datasets.ByName(spec.Dataset, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return crowd.NewPlatform(ds.Gold.IsMatch, crowd.Config{
+			NumWorkers: 20, WorkersPerQuestion: 5, ErrorRate: 0.1, Seed: 3,
+		})
+	}
+	a1, _ := startWorker(t, nil)
+	a2, _ := startWorker(t, nil)
+	co := testCoordinator(t, []string{a1, a2}, nil, testMetrics())
+	ref := runLocal(t, spec, crowdFor())
+	got := runRemote(t, co, spec, crowdFor(), nil)
+	assertResultsIdentical(t, ref, got)
+}
+
+// TestClusterFailoverWorkerDeath kills one of three in-process workers
+// mid-run: the coordinator must mark it down, re-prepare its shards on
+// the survivors from the command log, and finish byte-identical to the
+// local oracle, with reassignments and a down transition recorded.
+func TestClusterFailoverWorkerDeath(t *testing.T) {
+	spec := testSpec{Dataset: "books", Seed: 12, Shards: 6, Mu: 3}
+	a1, w1 := startWorker(t, nil)
+	a2, _ := startWorker(t, nil)
+	a3, _ := startWorker(t, nil)
+	m := testMetrics()
+	co := testCoordinator(t, []string{a1, a2, a3}, nil, m)
+
+	ref := runLocal(t, spec, oracleFor(t, spec))
+	var killed atomic.Bool
+	got := runRemote(t, co, spec, oracleFor(t, spec), func(questions int) {
+		if questions >= ref.Questions/4 && killed.CompareAndSwap(false, true) {
+			t.Logf("killing worker %s after %d questions", a1, questions)
+			w1.Close()
+		}
+	})
+	if !killed.Load() {
+		t.Fatal("kill threshold never reached")
+	}
+	assertResultsIdentical(t, ref, got)
+	if m.Reassignments.Value() == 0 {
+		t.Error("no shard reassignments recorded after worker death")
+	}
+	if m.WorkerDowns.Value() == 0 {
+		t.Error("no worker-down transition recorded")
+	}
+}
+
+// TestClusterCrashFault exercises the worker-side kill-after-N-RPCs chaos
+// fault: the worker tears itself down mid-run exactly as a SIGKILL would,
+// and the survivor absorbs its shards with no effect on the result.
+func TestClusterCrashFault(t *testing.T) {
+	spec := testSpec{Dataset: "books", Seed: 13, Shards: 4, Mu: 4}
+	a1, _ := startWorker(t, &Faults{CrashAfterRPCs: 25})
+	a2, _ := startWorker(t, nil)
+	m := testMetrics()
+	co := testCoordinator(t, []string{a1, a2}, nil, m)
+	ref := runLocal(t, spec, oracleFor(t, spec))
+	got := runRemote(t, co, spec, oracleFor(t, spec), nil)
+	assertResultsIdentical(t, ref, got)
+	if m.Reassignments.Value() == 0 {
+		t.Error("no shard reassignments recorded after crash fault")
+	}
+}
+
+// TestClusterSurvivesChaos runs under coordinator-side frame chaos —
+// duplicated and dropped frames plus injected latency — and must still be
+// oracle-identical: duplicates are absorbed by the idempotent command
+// watermark and stale-response skipping, drops by timeout and retry.
+func TestClusterSurvivesChaos(t *testing.T) {
+	cases := []struct {
+		name    string
+		faults  *Faults
+		retries bool
+	}{
+		{"duplicates", &Faults{DuplicateEveryN: 2}, false},
+		{"drops", &Faults{DropEveryN: 6}, true},
+		{"delays", &Faults{DelayEveryN: 3, Delay: 10 * time.Millisecond}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := testSpec{Dataset: "books", Seed: 14, Shards: 4, Mu: 4}
+			a1, _ := startWorker(t, nil)
+			a2, _ := startWorker(t, nil)
+			m := testMetrics()
+			co := testCoordinator(t, []string{a1, a2}, tc.faults, m)
+			ref := runLocal(t, spec, oracleFor(t, spec))
+			got := runRemote(t, co, spec, oracleFor(t, spec), nil)
+			assertResultsIdentical(t, ref, got)
+			if tc.retries && m.RPCRetries.Value() == 0 {
+				t.Error("dropped frames produced no recorded retries")
+			}
+		})
+	}
+}
+
+// TestWorkerDuplicateCommandDelivery pins answer-delivery idempotency at
+// the worker boundary: the same command tail delivered twice (a duplicated
+// or replayed frame) is applied once, and a gap is rejected.
+func TestWorkerDuplicateCommandDelivery(t *testing.T) {
+	spec := testSpec{Dataset: "books", Seed: 15, Shards: 2, Mu: 4}
+	raw, _ := json.Marshal(spec)
+	w := NewWorker(WorkerConfig{Prepare: prepareFromSpec})
+	if _, _, err := w.handlePrepare(prepareReq{Runner: "r", Shard: 0, SpecHash: SpecHash(raw), Spec: raw}); err != nil {
+		t.Fatal(err)
+	}
+	gatherOnce := func() shardRes {
+		body, kind, err := w.handleShard(MethodGather, shardReq{Runner: "r", Shard: 0, Cmds: []Cmd{{Seq: 1, Op: OpSync}}})
+		if err != nil {
+			t.Fatalf("gather (kind %q): %v", kind, err)
+		}
+		var res shardRes
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := gatherOnce()
+	if first.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", first.Applied)
+	}
+	// Redelivering the identical frame must dedup, not double-apply.
+	second := gatherOnce()
+	if second.Applied != 1 {
+		t.Fatalf("applied after duplicate = %d, want 1", second.Applied)
+	}
+	if len(first.Cands) != len(second.Cands) {
+		t.Fatalf("duplicate delivery changed candidates: %d vs %d", len(first.Cands), len(second.Cands))
+	}
+	// A sequence gap means divergent history and must be rejected.
+	if _, _, err := w.handleShard(MethodApply, shardReq{Runner: "r", Shard: 0, Cmds: []Cmd{{Seq: 5, Op: OpSync}}}); err == nil {
+		t.Fatal("command gap accepted")
+	}
+	// An unknown shard is a state error the coordinator repairs by
+	// re-preparing.
+	if _, kind, err := w.handleShard(MethodGather, shardReq{Runner: "r", Shard: 1}); err == nil || kind != ErrKindState {
+		t.Fatalf("missing shard: kind %q, err %v; want state error", kind, err)
+	}
+}
+
+// TestCoordinatorStatus pins the liveness snapshot /healthz reports.
+func TestCoordinatorStatus(t *testing.T) {
+	a1, w1 := startWorker(t, nil)
+	a2, _ := startWorker(t, nil)
+	m := testMetrics()
+	co := testCoordinator(t, []string{a1, a2}, nil, m)
+	waitFor(t, time.Second, func() bool { return co.LiveWorkers() == 2 })
+	w1.Close()
+	waitFor(t, 5*time.Second, func() bool { return co.LiveWorkers() == 1 })
+	var downAddr string
+	for _, st := range co.Status() {
+		if !st.Live {
+			downAddr = st.Addr
+		}
+	}
+	if downAddr != a1 {
+		t.Fatalf("down worker = %q, want %q", downAddr, a1)
+	}
+	if m.WorkersLive.Value() != 1 {
+		t.Fatalf("workers-live gauge = %d, want 1", m.WorkersLive.Value())
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// TestParseFaults pins the -chaos flag grammar.
+func TestParseFaults(t *testing.T) {
+	f, err := ParseFaults("drop=7,dup=5,delay=3:20ms,kill=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Faults{DropEveryN: 7, DuplicateEveryN: 5, DelayEveryN: 3, Delay: 20 * time.Millisecond, CrashAfterRPCs: 100}
+	if f.DropEveryN != want.DropEveryN || f.DuplicateEveryN != want.DuplicateEveryN ||
+		f.DelayEveryN != want.DelayEveryN || f.Delay != want.Delay || f.CrashAfterRPCs != want.CrashAfterRPCs {
+		t.Fatalf("ParseFaults: drop=%d dup=%d delay=%d:%v kill=%d, want drop=%d dup=%d delay=%d:%v kill=%d",
+			f.DropEveryN, f.DuplicateEveryN, f.DelayEveryN, f.Delay, f.CrashAfterRPCs,
+			want.DropEveryN, want.DuplicateEveryN, want.DelayEveryN, want.Delay, want.CrashAfterRPCs)
+	}
+	if f, err := ParseFaults(""); err != nil || f != nil {
+		t.Fatalf("empty chaos spec: %v, %v", f, err)
+	}
+	for _, bad := range []string{"drop", "drop=0", "drop=x", "dup=-1", "delay=3", "delay=0:10ms", "delay=3:bogus", "kill=0", "explode=1"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultsNilSafe pins that a nil *Faults injects nothing.
+func TestFaultsNilSafe(t *testing.T) {
+	var f *Faults
+	if f.drop() || f.duplicate() || f.crashDue() || f.delay() != 0 {
+		t.Fatal("nil Faults injected a fault")
+	}
+}

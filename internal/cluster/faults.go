@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Faults injects deterministic failures into the RPC layer for chaos
+// drills and tests. Coordinator-side faults (drop, delay, duplicate)
+// perturb outgoing request frames; CrashAfterRPCs is worker-side and
+// simulates a SIGKILL by tearing the listener and every connection down
+// after N handled requests. Heartbeat pings bypass injection — chaos
+// must exercise retry and failover, not fake a dead worker.
+//
+// All methods are nil-receiver-safe; a nil *Faults injects nothing.
+type Faults struct {
+	// DropEveryN drops every Nth outgoing request frame (the call times
+	// out and retries). 0 disables.
+	DropEveryN int
+	// DelayEveryN sleeps Delay before every Nth outgoing request frame.
+	DelayEveryN int
+	// Delay is the injected latency for DelayEveryN.
+	Delay time.Duration
+	// DuplicateEveryN writes every Nth request frame twice, exercising
+	// the worker's idempotent command application and the client's
+	// stale-response skipping. 0 disables.
+	DuplicateEveryN int
+	// CrashAfterRPCs makes a worker kill itself after handling N
+	// requests. 0 disables.
+	CrashAfterRPCs int64
+
+	drops, delays, dups, rpcs atomic.Int64
+}
+
+// drop reports whether this request frame should be dropped.
+func (f *Faults) drop() bool {
+	if f == nil || f.DropEveryN <= 0 {
+		return false
+	}
+	return f.drops.Add(1)%int64(f.DropEveryN) == 0
+}
+
+// delay returns the latency to inject before this request frame.
+func (f *Faults) delay() time.Duration {
+	if f == nil || f.DelayEveryN <= 0 || f.Delay <= 0 {
+		return 0
+	}
+	if f.delays.Add(1)%int64(f.DelayEveryN) == 0 {
+		return f.Delay
+	}
+	return 0
+}
+
+// duplicate reports whether this request frame should be written twice.
+func (f *Faults) duplicate() bool {
+	if f == nil || f.DuplicateEveryN <= 0 {
+		return false
+	}
+	return f.dups.Add(1)%int64(f.DuplicateEveryN) == 0
+}
+
+// crashDue counts one handled RPC and reports whether the worker should
+// now crash.
+func (f *Faults) crashDue() bool {
+	if f == nil || f.CrashAfterRPCs <= 0 {
+		return false
+	}
+	return f.rpcs.Add(1) == f.CrashAfterRPCs
+}
+
+// ParseFaults parses the -chaos flag syntax: comma-separated
+// key=value terms among drop=N, dup=N, delay=N:DUR and kill=N, e.g.
+// "drop=7,dup=5,delay=3:20ms". An empty string returns nil.
+func ParseFaults(s string) (*Faults, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	f := &Faults{}
+	for _, term := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: chaos term %q is not key=value", term)
+		}
+		switch key {
+		case "drop":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: chaos drop=%q wants a positive integer", val)
+			}
+			f.DropEveryN = n
+		case "dup":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: chaos dup=%q wants a positive integer", val)
+			}
+			f.DuplicateEveryN = n
+		case "delay":
+			nStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("cluster: chaos delay=%q wants N:DURATION", val)
+			}
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: chaos delay=%q wants a positive integer N", val)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("cluster: chaos delay=%q wants a positive duration", val)
+			}
+			f.DelayEveryN, f.Delay = n, d
+		case "kill":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: chaos kill=%q wants a positive integer", val)
+			}
+			f.CrashAfterRPCs = n
+		default:
+			return nil, fmt.Errorf("cluster: unknown chaos key %q (want drop, dup, delay or kill)", key)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/ergraph"
+	"repro/internal/pair"
+	"repro/internal/selection"
+)
+
+// Runner returns a core.RunnerFactory that places a loop's shard engines
+// on the coordinator's workers. The spec is the opaque session
+// specification each worker's Prepare hook rebuilds the pipeline from —
+// it must describe the same pipeline as the *core.Prepared the factory is
+// invoked with, or workers will compute against a different graph.
+func (co *Coordinator) Runner(spec []byte) core.RunnerFactory {
+	hash := SpecHash(spec)
+	return func(p *core.Prepared) (core.ShardRunner, error) {
+		r := &remoteRunner{
+			co:   co,
+			p:    p,
+			id:   fmt.Sprintf("%s-%d", co.nonce, co.runnerSeq.Add(1)),
+			spec: spec,
+			hash: hash,
+		}
+		n := p.NumShards()
+		r.shards = make([]*remoteShard, n)
+		for s := range r.shards {
+			r.shards[s] = &remoteShard{worker: s % len(co.workers)}
+		}
+		// Assign every shard eagerly so prepare latency overlaps across
+		// workers and a dead-on-arrival cluster fails the loop at birth
+		// instead of at the first gather.
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for s := 0; s < n; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				ctx, cancel := r.opContext()
+				defer cancel()
+				_, errs[s] = r.ensure(ctx, s, r.backoff())
+			}(s)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return nil, fmt.Errorf("cluster: assigning shards: %w", err)
+		}
+		co.logf("cluster: runner %s assigned %d shards across %d workers", r.id, n, co.LiveWorkers())
+		return r, nil
+	}
+}
+
+// remoteShard is the coordinator-side replica of one shard: the full
+// sequence-numbered command log (the failover source of truth), the flush
+// watermark acknowledged by the current worker, and the assignment.
+type remoteShard struct {
+	mu      sync.Mutex
+	log     []Cmd
+	flushed int
+	worker  int
+	// prepared marks the current assignment valid; a state-loss error
+	// clears it. assigned stays true once the shard has ever had an owner,
+	// so a later prepare is counted as a reassignment either way.
+	prepared bool
+	assigned bool
+	released bool
+}
+
+// remoteRunner is the cluster implementation of core.ShardRunner. Writes
+// append to the per-shard command log and ship lazily, piggybacked on the
+// next read RPC; reads retry with jittered backoff under the operation
+// deadline, failing over to a surviving worker — re-prepare plus full log
+// replay — when the owner is lost.
+type remoteRunner struct {
+	co   *Coordinator
+	p    *core.Prepared
+	id   string
+	spec []byte
+	hash string
+
+	shards []*remoteShard
+}
+
+func (r *remoteRunner) opContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), r.co.cfg.OpTimeout)
+}
+
+func (r *remoteRunner) backoff() *backoff {
+	return newBackoff(r.co.cfg.BackoffBase, r.co.cfg.BackoffMax, r.co.baseSeed+r.co.seedSeq.Add(1))
+}
+
+// append logs one command. Writes never fail: the log is durable in the
+// coordinator (itself recoverable from the session WAL), and shipping is
+// deferred to the next read RPC on the shard.
+func (r *remoteRunner) append(s int, c Cmd) {
+	sh := r.shards[s]
+	sh.mu.Lock()
+	c.Seq = len(sh.log) + 1
+	sh.log = append(sh.log, c)
+	sh.mu.Unlock()
+}
+
+func (r *remoteRunner) Resolve(s int, q pair.Pair, detach bool) error {
+	r.append(s, Cmd{Op: OpResolve, Pair: q, Detach: detach})
+	return nil
+}
+
+func (r *remoteRunner) Damp(s int, q pair.Pair, prior float64) error {
+	r.append(s, Cmd{Op: OpDamp, Pair: q, Prior: prior})
+	return nil
+}
+
+func (r *remoteRunner) Rebuild(s int, est map[ergraph.RelPair]consistency.Estimate) error {
+	r.append(s, Cmd{Op: OpRebuild, Est: encodeEstimates(r.p.ShardLabels(s), est)})
+	return nil
+}
+
+func (r *remoteRunner) Invalidate(s int) error {
+	r.append(s, Cmd{Op: OpInvalidate})
+	return nil
+}
+
+func (r *remoteRunner) Gather(s int) ([]selection.Candidate, bool, error) {
+	// The sync marker makes the gather's engine sync part of the log:
+	// replaying a lost shard re-executes every sync at its original
+	// position, so the last-sync snapshot Ball serves — and the candidates
+	// a replayed Rank re-derives — reproduce bit-identically.
+	r.append(s, Cmd{Op: OpSync})
+	res, err := r.do(s, MethodGather, shardReq{})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Cands, res.AnyProp, nil
+}
+
+func (r *remoteRunner) Rank(s, mu int) ([]selection.Pick, error) {
+	res, err := r.do(s, MethodRank, shardReq{Mu: mu})
+	if err != nil {
+		return nil, err
+	}
+	if res.Picks == nil {
+		res.Picks = []selection.Pick{}
+	}
+	return res.Picks, nil
+}
+
+func (r *remoteRunner) Ball(s int, q pair.Pair) ([]pair.Pair, error) {
+	res, err := r.do(s, MethodBall, shardReq{Pair: q})
+	if err != nil {
+		return nil, err
+	}
+	return res.Ball, nil
+}
+
+// Release drops a settled shard's engine. It is a single best-effort
+// attempt: recomputes are diagnostics, the loop never addresses a settled
+// shard again, and burning the failover machinery on a freed engine would
+// re-prepare state only to discard it.
+func (r *remoteRunner) Release(s int) (int64, error) {
+	sh := r.shards[s]
+	sh.released = true
+	ctx, cancel := context.WithTimeout(context.Background(), r.co.cfg.RPCTimeout)
+	defer cancel()
+	if !sh.prepared || r.co.workers[sh.worker].isDown() {
+		return 0, nil
+	}
+	sh.mu.Lock()
+	req := shardReq{Runner: r.id, Shard: s, Cmds: sh.log[sh.flushed:]}
+	sh.mu.Unlock()
+	body, _, err := r.co.workers[sh.worker].call(ctx, MethodRelease, req, true)
+	if err != nil {
+		return 0, nil
+	}
+	var res shardRes
+	if json.Unmarshal(body, &res) != nil {
+		return 0, nil
+	}
+	sh.mu.Lock()
+	sh.flushed = len(sh.log)
+	sh.mu.Unlock()
+	return res.Recomputes, nil
+}
+
+// Close releases the remaining shards and tells every live worker to drop
+// the runner's state. Always succeeds: close-time recomputes are
+// diagnostics only.
+func (r *remoteRunner) Close() (int64, error) {
+	var n int64
+	for s, sh := range r.shards {
+		if sh.released {
+			continue
+		}
+		rec, _ := r.Release(s)
+		n += rec
+	}
+	for _, wc := range r.co.workers {
+		if wc.isDown() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.co.cfg.RPCTimeout)
+		wc.call(ctx, MethodEnd, endReq{Runner: r.id}, true)
+		cancel()
+	}
+	return n, nil
+}
+
+// do performs one read RPC on a shard, shipping the pending command tail,
+// retrying with backoff under the operation deadline and failing over
+// when the owner is lost. A non-state application error is permanent: the
+// worker is healthy and deterministic, so a retry would only repeat it.
+func (r *remoteRunner) do(s int, method string, req shardReq) (shardRes, error) {
+	sh := r.shards[s]
+	ctx, cancel := r.opContext()
+	defer cancel()
+	bo := r.backoff()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			r.co.cfg.Metrics.rpcRetries().Inc()
+			if err := bo.Sleep(ctx); err != nil {
+				return shardRes{}, fmt.Errorf("cluster: shard %d %s exhausted its deadline: %w (last error: %v)", s, method, err, lastErr)
+			}
+		}
+		wi, err := r.ensure(ctx, s, bo)
+		if err != nil {
+			if ctx.Err() != nil {
+				return shardRes{}, fmt.Errorf("cluster: shard %d %s exhausted its deadline: %w", s, method, err)
+			}
+			lastErr = err
+			continue
+		}
+		sh.mu.Lock()
+		flushedAtSend := sh.flushed
+		req.Runner, req.Shard = r.id, s
+		req.Cmds = sh.log[flushedAtSend:]
+		sent := len(sh.log)
+		sh.mu.Unlock()
+		body, kind, err := r.co.workers[wi].call(ctx, method, req, true)
+		if err != nil {
+			lastErr = err
+			if kind == ErrKindState {
+				// The worker restarted and lost the shard: re-prepare + replay.
+				sh.prepared = false
+				continue
+			}
+			var ce *callError
+			if errors.As(err, &ce) && ce.transport {
+				continue
+			}
+			return shardRes{}, err
+		}
+		var res shardRes
+		if err := json.Unmarshal(body, &res); err != nil {
+			lastErr = fmt.Errorf("cluster: decoding %s response: %w", method, err)
+			continue
+		}
+		sh.mu.Lock()
+		if sh.flushed < sent {
+			sh.flushed = sent
+		}
+		sh.mu.Unlock()
+		bo.Reset()
+		return res, nil
+	}
+}
+
+// ensure returns a live worker holding the shard's state, preparing and
+// replaying the command log if the shard is unassigned or its owner died.
+// Candidate workers are probed round-robin from the current assignment;
+// with none live it errors and the caller backs off (the heartbeat may
+// revive one).
+func (r *remoteRunner) ensure(ctx context.Context, s int, bo *backoff) (int, error) {
+	sh := r.shards[s]
+	if sh.prepared && !r.co.workers[sh.worker].isDown() {
+		return sh.worker, nil
+	}
+	n := len(r.co.workers)
+	var lastErr error
+	for off := 0; off < n; off++ {
+		wi := (sh.worker + off) % n
+		wc := r.co.workers[wi]
+		if wc.isDown() {
+			continue
+		}
+		if err := r.prepareOn(ctx, wc, s); err != nil {
+			lastErr = err
+			continue
+		}
+		if sh.assigned {
+			// The shard had an owner before: this prepare is a failover.
+			r.co.cfg.Metrics.reassignments().Inc()
+			r.co.logf("cluster: runner %s shard %d reassigned %s -> %s",
+				r.id, s, r.co.workers[sh.worker].addr, wc.addr)
+		}
+		sh.worker = wi
+		sh.prepared = true
+		sh.assigned = true
+		return wi, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no live workers (%d configured)", n)
+	}
+	return 0, lastErr
+}
+
+// prepareOn builds the shard's state on a worker and replays the full
+// command log in bounded chunks. The worker rebuilds from sequence 1;
+// every logged sync lands at its original position, so the rebuilt engine
+// is bit-identical to the lost one.
+func (r *remoteRunner) prepareOn(ctx context.Context, wc *workerClient, s int) error {
+	sh := r.shards[s]
+	preq := prepareReq{Runner: r.id, Shard: s, SpecHash: r.hash, Spec: r.spec}
+	if _, _, err := wc.call(ctx, MethodPrepare, preq, true); err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	log := sh.log
+	sh.mu.Unlock()
+	for lo := 0; lo < len(log); lo += maxReplayCmds {
+		hi := min(lo+maxReplayCmds, len(log))
+		req := shardReq{Runner: r.id, Shard: s, Cmds: log[lo:hi]}
+		if _, _, err := wc.call(ctx, MethodApply, req, true); err != nil {
+			return err
+		}
+	}
+	sh.mu.Lock()
+	sh.flushed = len(log)
+	sh.mu.Unlock()
+	return nil
+}

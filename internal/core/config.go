@@ -78,6 +78,13 @@ type Config struct {
 	// oversubscribe the machine. Nil selects a process-wide default sized
 	// at GOMAXPROCS.
 	Sched *Scheduler
+	// Runner supplies the ShardRunner a new Loop drives — where the
+	// per-shard propagation engines live. Nil selects the in-process
+	// runner (NewLocalRunner); internal/cluster supplies a remote runner
+	// that places the engines on worker processes. A conforming runner
+	// replicates the local runner's observable behavior exactly, so the
+	// loop's byte-identity guarantees extend across it.
+	Runner RunnerFactory
 	// Obs carries the instrumentation hooks threaded through the
 	// pipeline: per-stage loop timings (through its injected monotonic
 	// clock — core itself never reads the wall clock, preserving

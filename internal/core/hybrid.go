@@ -37,11 +37,7 @@ func (l *Loop) monotoneInference() {
 				case res.Confirmed.Has(w) && vec.StrictlyDominates(wv):
 					l.acceptMonotone(v)
 				case res.NonMatches.Has(w) && wv.StrictlyDominates(vec):
-					res.NonMatches.Add(v)
-					l.touch(v)
-					if vsh := l.shardFor(v); vsh != nil && vsh.eng != nil {
-						vsh.eng.DetachVertex(v)
-					}
+					l.markNonMatch(v)
 				}
 				if l.resolved(v) {
 					break
@@ -61,5 +57,6 @@ func (l *Loop) acceptMonotone(v pair.Pair) {
 	l.res.Matches.Add(v)
 	l.pendingSeeds = append(l.pendingSeeds, v)
 	l.touch(v)
+	l.runnerResolve(v, false)
 	l.resolveCompetitors(v)
 }

@@ -8,7 +8,6 @@ import (
 	"repro/internal/crowd"
 	"repro/internal/obs"
 	"repro/internal/pair"
-	"repro/internal/propagation"
 	"repro/internal/selection"
 )
 
@@ -26,6 +25,10 @@ const (
 	LoopAwaiting LoopState = "awaiting_answers"
 	// LoopDone means the stop criterion held: the result is final.
 	LoopDone LoopState = "done"
+	// LoopFailed means the shard runner failed permanently (a remote
+	// runner lost its whole cluster); Err reports why. The local runner
+	// never fails, so in-process loops never reach this state.
+	LoopFailed LoopState = "failed"
 )
 
 // Errors returned by Loop.Deliver.
@@ -46,11 +49,11 @@ type Answer struct {
 	Labels []crowd.Label
 }
 
-// loopShard is one shard's live propagation state: the pipe (subgraph +
-// probabilistic graph) and the incremental engine over it. A shard whose
-// vertices are all resolved is settled: its engine is released (the
-// dist/rev ball maps are the loop's dominant memory) and every later
-// phase skips it.
+// loopShard is the loop's per-shard bookkeeping: the pipe (subgraph and
+// its global index map) plus the caches that make clean shards free. The
+// engines themselves live behind the ShardRunner. A shard whose vertices
+// are all resolved is settled: its engine is released (the dist/rev ball
+// maps are the loop's dominant memory) and every later phase skips it.
 //
 // dirty tracks whether anything that feeds candidate gathering changed
 // since the shard's last gather: an answer applied to a shard vertex, a
@@ -61,7 +64,6 @@ type Answer struct {
 // per-loop cost sharding scopes down.
 type loopShard struct {
 	pipe    *shardPipe
-	eng     *propagation.Engine
 	settled bool
 
 	dirty   bool
@@ -95,10 +97,16 @@ type loopShard struct {
 // runs on the serial answer-application path, so the sharded machine
 // resolves exactly the pairs the monolithic one would.
 //
+// The engines live behind the Config's ShardRunner: in this process by
+// default, or on cluster worker processes behind internal/cluster's
+// remote runner. A runner that fails permanently moves the loop to
+// LoopFailed and Err reports the cause; the in-process runner never does.
+//
 // A Loop is not safe for concurrent use; internal/session.Session adds the
 // locking, stable question IDs and snapshot/restore on top.
 type Loop struct {
 	p      *Prepared
+	r      ShardRunner
 	res    *Result
 	priors map[pair.Pair]float64
 	hard   pair.Set
@@ -109,6 +117,7 @@ type Loop struct {
 	buf     map[pair.Pair][]crowd.Label // out-of-order answers awaiting their turn
 	history []Answer                    // applied answers, in application order
 	done    bool
+	err     error // sticky runner failure; the loop is dead once set
 
 	// pendingSeeds are the matches confirmed or propagated since the last
 	// consistency refit; re-estimation uses them to skip labels whose
@@ -139,19 +148,20 @@ func (p *Prepared) NewLoop() *Loop {
 		l.priors[k] = v
 	}
 	l.shards = make([]*loopShard, len(p.pipes))
+	for s := range l.shards {
+		l.shards[s] = &loopShard{pipe: p.pipes[s], dirty: true}
+	}
 	// The initial engine builds are the first propagation work of the
 	// session; their Dijkstra fan-out lands in the infer stage and the
 	// shared engine counters.
 	t0 := p.Cfg.Obs.StageStart()
-	engCounters := p.Cfg.Obs.EngineCounters()
-	p.Cfg.scheduler().ForEach(len(p.pipes), func(s int) {
-		l.shards[s] = &loopShard{
-			pipe:  p.pipes[s],
-			eng:   propagation.NewEngineObs(p.pipes[s].prob, p.Cfg.Tau, engCounters),
-			dirty: true,
-		}
-	})
+	r, err := p.Cfg.runnerFactory()(p)
 	p.Cfg.Obs.StageEnd(obs.StageInfer, t0)
+	if err != nil {
+		l.fail(fmt.Errorf("core: starting shard runner: %w", err))
+		return l
+	}
+	l.r = r
 	l.openBatch()
 	return l
 }
@@ -163,18 +173,14 @@ func (l *Loop) NumShards() int { return len(l.shards) }
 // fingerprint session snapshots record).
 func (l *Loop) ShardSizes() []int { return l.p.ShardSizes() }
 
-// shardFor routes a pair to its shard. All pairs reachable from the loop's
-// control flow are graph vertices, so the lookup cannot miss; nil is
-// returned for foreign pairs as a guard.
-func (l *Loop) shardFor(q pair.Pair) *loopShard {
+// shardIndex routes a pair to its shard index. All pairs reachable from
+// the loop's control flow are graph vertices, so the lookup cannot miss;
+// -1 is returned for foreign pairs as a guard.
+func (l *Loop) shardIndex(q pair.Pair) int {
 	if len(l.shards) == 1 {
-		return l.shards[0]
+		return 0
 	}
-	s := l.p.Part.ShardOf(q)
-	if s < 0 {
-		return nil
-	}
-	return l.shards[s]
+	return l.p.Part.ShardOf(q)
 }
 
 // resolved reports whether q has been decided either way.
@@ -185,13 +191,54 @@ func (l *Loop) resolved(q pair.Pair) bool {
 // touch marks q's shard dirty: its cached candidates and selection no
 // longer describe the next loop.
 func (l *Loop) touch(q pair.Pair) {
-	if sh := l.shardFor(q); sh != nil {
-		sh.dirty = true
+	if s := l.shardIndex(q); s >= 0 {
+		l.shards[s].dirty = true
 	}
+}
+
+// fail records a permanent runner failure: the loop is dead, Deliver
+// returns the error, and the engines are released best-effort.
+func (l *Loop) fail(err error) {
+	if l.err != nil || l.done {
+		return
+	}
+	l.err = err
+	l.open, l.buf = nil, nil
+	l.next = 0
+	if l.r != nil {
+		l.r.Close() //nolint:errcheck // best-effort release on the failure path
+	}
+}
+
+// runnerResolve mirrors a resolution into the owning shard's engine state.
+// Settled shards are skipped: every vertex there is already resolved, so
+// the runner state cannot be consulted again.
+func (l *Loop) runnerResolve(q pair.Pair, detach bool) {
+	if l.err != nil {
+		return
+	}
+	s := l.shardIndex(q)
+	if s < 0 || l.shards[s].settled {
+		return
+	}
+	if err := l.r.Resolve(s, q, detach); err != nil {
+		l.fail(err)
+	}
+}
+
+// markNonMatch resolves v negative: the result set, the shard dirty flag
+// and the runner's propagation state (detachment) advance together.
+func (l *Loop) markNonMatch(v pair.Pair) {
+	l.res.NonMatches.Add(v)
+	l.touch(v)
+	l.runnerResolve(v, true)
 }
 
 // State returns the loop's current state.
 func (l *Loop) State() LoopState {
+	if l.err != nil {
+		return LoopFailed
+	}
 	if l.done {
 		return LoopDone
 	}
@@ -200,6 +247,10 @@ func (l *Loop) State() LoopState {
 
 // Done reports whether the loop has finished and the result is final.
 func (l *Loop) Done() bool { return l.done }
+
+// Err returns the permanent runner failure that moved the loop to
+// LoopFailed, or nil.
+func (l *Loop) Err() error { return l.err }
 
 // Result returns the loop's result. While the loop is awaiting answers the
 // sets are live views of the work in progress; once Done they are final.
@@ -241,6 +292,9 @@ func (l *Loop) Buffered() []Answer {
 // delivery drains the batch, the machine advances: loop tail, next batch
 // selection, and — when the stop criterion holds — finalization.
 func (l *Loop) Deliver(q pair.Pair, labels []crowd.Label) error {
+	if l.err != nil {
+		return l.err
+	}
 	if l.done {
 		return fmt.Errorf("%w (extra answer for %v)", ErrLoopDone, q)
 	}
@@ -259,6 +313,9 @@ func (l *Loop) Deliver(q pair.Pair, labels []crowd.Label) error {
 	}
 	l.buf[q] = labels
 	l.drain()
+	if l.err != nil {
+		return l.err
+	}
 	return nil
 }
 
@@ -275,6 +332,9 @@ func (l *Loop) drain() {
 		delete(l.buf, q)
 		l.next++
 		l.apply(q, labels)
+		if l.err != nil {
+			return
+		}
 		if cfg.Budget > 0 && l.res.Questions >= cfg.Budget {
 			// Run abandons the rest of the batch when the budget fills.
 			// Since µ is clamped to the remaining budget at selection time
@@ -303,14 +363,16 @@ func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
 	case crowd.IsMatch:
 		l.confirmMatch(q)
 	case crowd.IsNonMatch:
-		l.res.NonMatches.Add(q)
-		if sh := l.shardFor(q); sh != nil && sh.eng != nil {
-			sh.eng.DetachVertex(q)
-		}
+		l.markNonMatch(q)
 	default:
 		// Hard question: damp its prior so its benefit shrinks.
 		l.priors[q] = inf.Posterior
 		l.hard.Add(q)
+		if s := l.shardIndex(q); s >= 0 && !l.shards[s].settled && l.err == nil {
+			if err := l.r.Damp(s, q, inf.Posterior); err != nil {
+				l.fail(err)
+			}
+		}
 	}
 	if cfg.Progress != nil {
 		cfg.Progress(l.res.Questions, l.res.Matches)
@@ -322,15 +384,21 @@ func (l *Loop) apply(q pair.Pair, labels []crowd.Label) {
 // the next batch.
 func (l *Loop) batchTail() {
 	cfg := l.p.Cfg
+	if l.err != nil {
+		return
+	}
 	if cfg.Hybrid || (cfg.Reestimate && l.res.Confirmed.Len() > 0) {
 		t0 := cfg.Obs.StageStart()
 		if cfg.Hybrid {
 			l.monotoneInference()
 		}
-		if cfg.Reestimate && l.res.Confirmed.Len() > 0 {
+		if cfg.Reestimate && l.res.Confirmed.Len() > 0 && l.err == nil {
 			l.reestimate()
 		}
 		cfg.Obs.StageEnd(obs.StageReestimate, t0)
+		if l.err != nil {
+			return
+		}
 	}
 	if cfg.Budget > 0 && l.res.Questions >= cfg.Budget {
 		l.finish()
@@ -349,7 +417,7 @@ func (l *Loop) settle() {
 	if len(l.shards) == 1 {
 		return // a fully resolved single shard finishes the loop instead
 	}
-	for _, sh := range l.shards {
+	for s, sh := range l.shards {
 		if sh.settled || !sh.dirty {
 			// A clean shard saw no resolution since its last gather, so it
 			// cannot have newly settled.
@@ -362,12 +430,17 @@ func (l *Loop) settle() {
 				break
 			}
 		}
-		if allResolved {
-			sh.settled = true
-			l.recomputes += sh.eng.Recomputes()
-			sh.eng = nil
-			sh.cands, sh.picks = nil, nil
+		if !allResolved {
+			continue
 		}
+		sh.settled = true
+		n, err := l.r.Release(s)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		l.recomputes += n
+		sh.cands, sh.picks = nil, nil
 	}
 }
 
@@ -394,12 +467,18 @@ func (l *Loop) openBatch() {
 		return
 	}
 	l.settle()
+	if l.err != nil {
+		return
+	}
 	active := l.active()
 	if cfg.debugFullResync {
 		// Test hook: degrade to the historical recompute-everything policy
 		// so equivalence tests can diff the results.
 		for _, s := range active {
-			l.shards[s].eng.InvalidateAll()
+			if err := l.r.Invalidate(s); err != nil {
+				l.fail(err)
+				return
+			}
 			l.shards[s].dirty = true
 		}
 	}
@@ -413,14 +492,25 @@ func (l *Loop) openBatch() {
 	// The engine Syncs plus candidate gathers are the loop's propagation
 	// phase; everything from the merge to the padded batch is selection.
 	tInfer := cfg.Obs.StageStart()
+	gatherErrs := make([]error, len(dirty))
 	sched.ForEach(len(dirty), func(k int) {
 		sh := l.shards[dirty[k]]
-		sh.eng.Sync()
-		sh.cands, sh.anyProp = l.gatherShard(sh)
+		cands, anyProp, err := l.r.Gather(dirty[k])
+		if err != nil {
+			gatherErrs[k] = err
+			return
+		}
+		sh.cands, sh.anyProp = cands, anyProp
 		sh.picks = nil
 		sh.dirty = false
 	})
 	cfg.Obs.StageEnd(obs.StageInfer, tInfer)
+	for _, err := range gatherErrs {
+		if err != nil {
+			l.fail(err)
+			return
+		}
+	}
 	tSelect := cfg.Obs.StageStart()
 	perShard := make([][]selection.Candidate, len(active))
 	anyPropagation := false
@@ -444,6 +534,10 @@ func (l *Loop) openBatch() {
 		}
 	}
 	chosen := l.selectBatch(cands, active, perShard, pos, mu)
+	if l.err != nil {
+		cfg.Obs.StageEnd(obs.StageSelect, tSelect)
+		return
+	}
 	if len(chosen) < mu {
 		// Remp always issues µ questions per human-machine loop (§VIII,
 		// Table VII): pad the batch with the highest-prior unchosen
@@ -465,52 +559,6 @@ func (l *Loop) openBatch() {
 	l.buf = make(map[pair.Pair][]crowd.Label, len(l.open))
 }
 
-// gatherShard assembles the candidate question list over one shard's
-// unresolved vertices, with inferred sets as global vertex indexes.
-// anyPropagation reports whether some question can still infer a pair
-// other than itself — the loop's stop signal. The engine's balls are
-// already ascending in vertex index, so the inferred lists come out in the
-// deterministic order the benefit sums need (they are order-sensitive in
-// floating point) without any per-loop sorting.
-func (l *Loop) gatherShard(sh *loopShard) ([]selection.Candidate, bool) {
-	verts := sh.pipe.graph.Vertices()
-	// One flat backing array holds every candidate's inferred list: a first
-	// pass bounds the total, so the fills below never reallocate and the
-	// whole gather costs two allocations instead of one per candidate.
-	live, total := 0, 0
-	for li, v := range verts {
-		if l.resolved(v) || l.hard.Has(v) {
-			continue
-		}
-		live++
-		total += len(sh.eng.Ball(li)) + 1
-	}
-	if live == 0 {
-		return nil, false
-	}
-	backing := make([]int, 0, total)
-	cands := make([]selection.Candidate, 0, live)
-	anyPropagation := false
-	for li, v := range verts {
-		if l.resolved(v) || l.hard.Has(v) {
-			continue
-		}
-		start := len(backing)
-		backing = append(backing, sh.pipe.global(li)) // a match label always resolves the question itself
-		for _, en := range sh.eng.Ball(li) {
-			if !l.resolved(verts[en.Idx]) {
-				backing = append(backing, sh.pipe.global(int(en.Idx)))
-			}
-		}
-		inf := backing[start:len(backing):len(backing)]
-		if len(inf) > 1 {
-			anyPropagation = true
-		}
-		cands = append(cands, selection.Candidate{Pair: v, Prob: l.priors[v], Inferred: inf})
-	}
-	return cands, anyPropagation
-}
-
 // selectBatch chooses up to mu questions. Single-shard loops (and custom
 // strategies without ranked selection) run the strategy over the merged
 // candidate list, exactly as the monolithic loop always has. Sharded loops
@@ -524,7 +572,7 @@ func (l *Loop) gatherShard(sh *loopShard) ([]selection.Candidate, bool) {
 // unchanged, so its scores are too).
 func (l *Loop) selectBatch(cands []selection.Candidate, active []int, perShard [][]selection.Candidate, pos [][]int, mu int) []int {
 	cfg := l.p.Cfg
-	ranked, ok := cfg.Strategy.(selection.Ranked)
+	_, ok := cfg.Strategy.(selection.Ranked)
 	if len(perShard) == 1 || !ok {
 		return cfg.Strategy.Select(cands, mu)
 	}
@@ -538,17 +586,29 @@ func (l *Loop) selectBatch(cands []selection.Candidate, active []int, perShard [
 			picks[k] = sh.picks
 		}
 	}
+	rankErrs := make([]error, len(stale))
 	cfg.scheduler().ForEach(len(stale), func(i int) {
 		k := stale[i]
 		sh := l.shards[active[k]]
 		if len(perShard[k]) > 0 {
-			sh.picks = ranked.SelectRanked(perShard[k], mu)
+			pk, err := l.r.Rank(active[k], mu)
+			if err != nil {
+				rankErrs[i] = err
+				return
+			}
+			sh.picks = pk
 		} else {
 			sh.picks = []selection.Pick{}
 		}
 		sh.picksMu = mu
 		picks[k] = sh.picks
 	})
+	for _, err := range rankErrs {
+		if err != nil {
+			l.fail(err)
+			return nil
+		}
+	}
 	heads := make([]int, len(picks))
 	var chosen []int
 	for len(chosen) < mu {
@@ -580,11 +640,11 @@ func (l *Loop) finish() {
 	l.open = nil
 	l.buf = nil
 	l.next = 0
-	for _, sh := range l.shards {
-		if sh.eng != nil {
-			l.recomputes += sh.eng.Recomputes()
-			sh.eng = nil
-		}
+	if l.r != nil {
+		// Close errors are not failures here: the result is already final,
+		// and a remote runner's lost recompute counts are diagnostics only.
+		n, _ := l.r.Close()
+		l.recomputes += n
 	}
 	l.p.runRecomputes = l.recomputes
 	if l.p.Cfg.ClassifyIsolated {

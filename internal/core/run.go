@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/ergraph"
 	"repro/internal/pair"
-	"repro/internal/propagation"
 	"repro/internal/selection"
 )
 
@@ -45,6 +44,11 @@ type Result struct {
 func (p *Prepared) Run(asker Asker) *Result {
 	l := p.NewLoop()
 	for !l.Done() {
+		if err := l.Err(); err != nil {
+			// Unreachable with the in-process runner; a remote runner that
+			// lost its whole cluster surfaces here.
+			panic(err)
+		}
 		batch := l.Batch()
 		if len(batch) == 0 {
 			// Unreachable by the Loop invariant (an open loop always has an
@@ -104,32 +108,35 @@ func padBatch(cands []selection.Candidate, chosen []int, mu int) []int {
 // lets the most probable pair of an entity win. Competitor vertices
 // sharing an entity with a new match are resolved as non-matches and
 // detached (the "re-estimate edges with new matches and non-matches" step
-// of §VII-A). Propagation reads the shard engine's last-Sync snapshot;
-// the whole cascade stays within q's shard by construction.
+// of §VII-A). Propagation reads the shard engine's last-Sync snapshot —
+// the runner returns the ball in distance order, unfiltered — and the
+// whole cascade stays within q's shard by construction.
 func (l *Loop) confirmMatch(q pair.Pair) {
 	l.res.Confirmed.Add(q)
 	l.res.Matches.Add(q)
 	l.pendingSeeds = append(l.pendingSeeds, q)
 	l.resolveCompetitors(q)
-	sh := l.shardFor(q)
-	if sh == nil || sh.eng == nil {
+	s := l.shardIndex(q)
+	if s < 0 || l.shards[s].settled || l.err != nil {
 		return
 	}
-	g := sh.pipe.graph
-	qi := g.IndexOf(q)
-	if qi < 0 {
+	if err := l.r.Resolve(s, q, false); err != nil {
+		l.fail(err)
 		return
 	}
-	verts := g.Vertices()
-	ball := sh.eng.Ball(qi)
-	for _, k := range ball.DistOrder(verts) { // smaller distance first
-		pj := verts[ball[k].Idx]
+	ball, err := l.r.Ball(s, q)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	for _, pj := range ball { // smaller distance first
 		if l.resolved(pj) {
 			continue
 		}
 		l.res.Propagated.Add(pj)
 		l.res.Matches.Add(pj)
 		l.pendingSeeds = append(l.pendingSeeds, pj)
+		l.runnerResolve(pj, false)
 		l.resolveCompetitors(pj)
 	}
 }
@@ -138,19 +145,15 @@ func (l *Loop) confirmMatch(q pair.Pair) {
 // the match m as a non-match and detaches it from the propagation fabric.
 // Competitor chains may cross shards (the partition follows relational
 // edges only); detaches run on the serial answer-application path and
-// route to the owning shard's engine, so cross-shard competitors resolve
-// exactly as in the monolithic loop.
+// route to the owning shard through the runner, so cross-shard
+// competitors resolve exactly as in the monolithic loop.
 func (l *Loop) resolveCompetitors(m pair.Pair) {
 	for _, side := range [][]pair.Pair{l.p.byEntity1[m.U1], l.p.byEntity2[m.U2]} {
 		for _, v := range side {
 			if v == m || l.resolved(v) {
 				continue
 			}
-			l.res.NonMatches.Add(v)
-			l.touch(v)
-			if sh := l.shardFor(v); sh != nil && sh.eng != nil {
-				sh.eng.DetachVertex(v)
-			}
+			l.markNonMatch(v)
 		}
 	}
 }
@@ -192,39 +195,31 @@ func (l *Loop) reestimate() {
 	old := p.Consistency
 	p.Consistency = p.refitConsistency(seeds, old, l.touchedLabels())
 	l.pendingSeeds = l.pendingSeeds[:0]
-	p.Cfg.scheduler().ForEach(len(l.shards), func(s int) {
-		sh := l.shards[s]
+	rebuild := make([]int, 0, len(l.shards))
+	for s, sh := range l.shards {
 		if sh.settled {
-			return
+			continue
 		}
 		if !p.Cfg.debugFullResync && !sh.pipe.labelsChanged(old, p.Consistency) {
+			continue
+		}
+		rebuild = append(rebuild, s)
+	}
+	errs := make([]error, len(rebuild))
+	p.Cfg.scheduler().ForEach(len(rebuild), func(i int) {
+		// The runner rebuilds the shard's probabilistic graph and
+		// re-detaches its resolved non-matches (ShardState.Rebuild).
+		errs[i] = l.r.Rebuild(rebuild[i], p.Consistency)
+		l.shards[rebuild[i]].dirty = true
+	})
+	for _, err := range errs {
+		if err != nil {
+			l.fail(err)
 			return
 		}
-		prob := propagation.BuildProb(sh.pipe.graph, p.K1, p.K2, propagation.Params{
-			Priors:      p.Priors,
-			Consistency: p.Consistency,
-		})
-		// Re-detach the shard's resolved non-matches. Walking the shard's
-		// own vertices keeps this O(shard size): the global NonMatches set
-		// approaches the whole graph late in a run, and foreign pairs have
-		// no edges here anyway.
-		for _, q := range sh.pipe.graph.Vertices() {
-			if !l.res.NonMatches.Has(q) {
-				continue
-			}
-			for _, e := range sh.pipe.graph.Out(q) {
-				prob.SetProb(q, e.To, 0)
-			}
-			for _, e := range sh.pipe.graph.In(q) {
-				prob.SetProb(e.From, q, 0)
-			}
-		}
-		sh.pipe.prob = prob
-		sh.eng.Reset(prob)
-		sh.dirty = true
-	})
+	}
 	if len(l.shards) == 1 {
-		p.Prob = l.shards[0].pipe.prob
+		p.Prob = p.pipes[0].prob
 	}
 }
 

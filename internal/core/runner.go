@@ -1,0 +1,398 @@
+package core
+
+import (
+	"repro/internal/consistency"
+	"repro/internal/ergraph"
+	"repro/internal/pair"
+	"repro/internal/propagation"
+	"repro/internal/selection"
+)
+
+// ShardRunner abstracts where a Loop's per-shard propagation engines live.
+// The loop owns every global decision — answer application order, the
+// result sets, budget and µ-batch selection across shards, settling — and
+// drives the runner with per-shard operations; the runner owns the engines
+// and the per-shard state those operations read (resolved/hard vertex
+// mirrors, the damped priors, the detached set). The in-process runner
+// (NewLocalRunner, the default) holds the engines in the loop's own
+// process; internal/cluster's remote runner places them on worker
+// processes behind an RPC protocol and replays the operation log to
+// survive worker crashes.
+//
+// Operations on distinct shards may be invoked concurrently (the loop fans
+// gathers, ranks and rebuilds across its scheduler); operations on one
+// shard are always serialized by the loop. A conforming runner must
+// replicate the local runner's observable behavior exactly — every
+// byte-identity guarantee the loop makes extends to any runner that does.
+type ShardRunner interface {
+	// Resolve marks shard s's vertex q resolved; detach additionally
+	// removes q's edges from the propagation fabric (the non-match path).
+	// Resolving an already resolved vertex is idempotent.
+	Resolve(s int, q pair.Pair, detach bool) error
+	// Damp marks q a hard question with the given damped prior: candidate
+	// gathering skips it from now on.
+	Damp(s int, q pair.Pair, prior float64) error
+	// Gather syncs shard s's engine and assembles its candidate questions,
+	// with inferred sets as global vertex indexes. The boolean reports
+	// whether some candidate can still infer a pair other than itself.
+	Gather(s int) ([]selection.Candidate, bool, error)
+	// Rank runs the configured Ranked strategy over shard s's candidates
+	// from its latest gather, for a batch of size mu.
+	Rank(s, mu int) ([]selection.Pick, error)
+	// Ball returns the vertices a confirmed match at q would infer — q's
+	// bounded-distance ball as of the last engine sync — in propagation
+	// order (ascending distance, ties by pair order), unfiltered by
+	// resolution state; the loop applies its own 1:1-constraint cascade.
+	Ball(s int, q pair.Pair) ([]pair.Pair, error)
+	// Rebuild rebuilds shard s's probabilistic graph from the given
+	// consistency estimates, re-detaching every detached vertex, and
+	// resets the engine over it (the re-estimation path).
+	Rebuild(s int, est map[ergraph.RelPair]consistency.Estimate) error
+	// Invalidate degrades shard s's engine to a full recompute at its next
+	// sync (the debugFullResync test hook).
+	Invalidate(s int) error
+	// Release drops shard s's engine — the shard settled — and returns the
+	// engine's Dijkstra recompute count. Releasing twice returns 0.
+	Release(s int) (int64, error)
+	// Close releases every remaining engine and returns the sum of their
+	// recompute counts. The runner is unusable afterwards.
+	Close() (int64, error)
+}
+
+// RunnerFactory builds the ShardRunner a new Loop will drive over the
+// given prepared pipeline.
+type RunnerFactory func(p *Prepared) (ShardRunner, error)
+
+// runnerFactory resolves the configured factory, defaulting to the
+// in-process runner.
+func (c *Config) runnerFactory() RunnerFactory {
+	if c.Runner != nil {
+		return c.Runner
+	}
+	return NewLocalRunner
+}
+
+// ShardState is one shard's live engine state: the incremental propagation
+// engine plus the mirrors of the loop's resolution state that candidate
+// gathering and rebuilds read (resolved and hard vertices, damped priors,
+// detached vertices). It is the execution substrate both ShardRunner
+// implementations share — the local runner holds one per shard in
+// process, and a cluster worker holds one per assigned shard, fed the
+// same operations over RPC — so both compute bit-identical candidates,
+// ranks, balls and rebuilds by construction.
+//
+// A ShardState is not safe for concurrent use; the loop serializes
+// operations per shard, and workers add their own locking.
+type ShardState struct {
+	p    *Prepared
+	pipe *shardPipe
+	prob *propagation.ProbGraph
+	eng  *propagation.Engine
+	// attached marks the local-runner mode: the state wraps the pipe's own
+	// probabilistic graph (the Prepared is exclusive to one loop) and
+	// rebuilds write back to it. Worker states are detached: they build a
+	// fresh graph so one cached Prepared can back many sessions.
+	attached bool
+
+	resolved pair.Set
+	detached pair.Set
+	hard     pair.Set
+	damped   map[pair.Pair]float64
+
+	gathered  bool
+	lastCands []selection.Candidate
+	anyProp   bool
+}
+
+// newAttachedShardState wraps shard s's own probabilistic graph — the
+// in-process runner's mode, where the Prepared is exclusive to the loop.
+func (p *Prepared) newAttachedShardState(s int) *ShardState {
+	st := &ShardState{
+		p:        p,
+		pipe:     p.pipes[s],
+		prob:     p.pipes[s].prob,
+		attached: true,
+		resolved: pair.Set{},
+		detached: pair.Set{},
+		hard:     pair.Set{},
+		damped:   map[pair.Pair]float64{},
+	}
+	st.eng = propagation.NewEngineObs(st.prob, p.Cfg.Tau, p.Cfg.Obs.EngineCounters())
+	return st
+}
+
+// NewShardState builds an independent engine state for shard s over a
+// fresh probabilistic graph, leaving the Prepared untouched. This is the
+// form a cluster worker holds: one Prepared (cached per pipeline spec)
+// backs every session's shard states, each with its own graph copy.
+func (p *Prepared) NewShardState(s int) *ShardState {
+	pipe := p.pipes[s]
+	prob := propagation.BuildProb(pipe.graph, p.K1, p.K2, propagation.Params{
+		Priors:      p.Priors,
+		Consistency: p.Consistency,
+	})
+	st := &ShardState{
+		p:        p,
+		pipe:     pipe,
+		prob:     prob,
+		resolved: pair.Set{},
+		detached: pair.Set{},
+		hard:     pair.Set{},
+		damped:   map[pair.Pair]float64{},
+	}
+	st.eng = propagation.NewEngineObs(prob, p.Cfg.Tau, p.Cfg.Obs.EngineCounters())
+	return st
+}
+
+// ShardLabels returns the edge labels present in shard s — the estimates a
+// rebuild of the shard consumes (the remote runner ships only these).
+func (p *Prepared) ShardLabels(s int) []ergraph.RelPair { return p.pipes[s].labels }
+
+// Resolve marks q resolved; detach removes its edges from the propagation
+// fabric. No-op after Release.
+func (st *ShardState) Resolve(q pair.Pair, detach bool) {
+	if st.eng == nil {
+		return
+	}
+	st.resolved.Add(q)
+	if detach {
+		st.detached.Add(q)
+		st.eng.DetachVertex(q)
+	}
+}
+
+// Damp marks q a hard question with its damped prior; gathers skip it.
+func (st *ShardState) Damp(q pair.Pair, prior float64) {
+	if st.eng == nil {
+		return
+	}
+	st.hard.Add(q)
+	st.damped[q] = prior
+}
+
+// Sync recomputes the engine's dirty balls without assembling candidates.
+// It is the replayable form of the sync a Gather performs: a cluster
+// worker replaying a reassigned shard's operation log executes Sync at
+// every logged gather position, so the engine's last-sync snapshot — the
+// one Ball serves — reproduces bit-identically.
+func (st *ShardState) Sync() {
+	if st.eng != nil {
+		st.eng.Sync()
+	}
+}
+
+// priorOf returns q's working prior: the damped value if the question went
+// hard, the prepared prior otherwise.
+func (st *ShardState) priorOf(q pair.Pair) float64 {
+	if p, ok := st.damped[q]; ok {
+		return p
+	}
+	return st.p.Priors[q]
+}
+
+// Gather syncs the engine and assembles the candidate question list over
+// the shard's unresolved, non-hard vertices, with inferred sets as global
+// vertex indexes. The boolean reports whether some question can still
+// infer a pair other than itself — the loop's stop signal. The engine's
+// balls are already ascending in vertex index, so the inferred lists come
+// out in the deterministic order the benefit sums need (they are
+// order-sensitive in floating point) without any per-loop sorting.
+func (st *ShardState) Gather() ([]selection.Candidate, bool) {
+	if st.eng == nil {
+		return nil, false
+	}
+	st.eng.Sync()
+	verts := st.pipe.graph.Vertices()
+	// One flat backing array holds every candidate's inferred list: a first
+	// pass bounds the total, so the fills below never reallocate and the
+	// whole gather costs two allocations instead of one per candidate.
+	live, total := 0, 0
+	for li, v := range verts {
+		if st.resolved.Has(v) || st.hard.Has(v) {
+			continue
+		}
+		live++
+		total += len(st.eng.Ball(li)) + 1
+	}
+	st.gathered = true
+	if live == 0 {
+		st.lastCands, st.anyProp = nil, false
+		return nil, false
+	}
+	backing := make([]int, 0, total)
+	cands := make([]selection.Candidate, 0, live)
+	anyPropagation := false
+	for li, v := range verts {
+		if st.resolved.Has(v) || st.hard.Has(v) {
+			continue
+		}
+		start := len(backing)
+		backing = append(backing, st.pipe.global(li)) // a match label always resolves the question itself
+		for _, en := range st.eng.Ball(li) {
+			if !st.resolved.Has(verts[en.Idx]) {
+				backing = append(backing, st.pipe.global(int(en.Idx)))
+			}
+		}
+		inf := backing[start:len(backing):len(backing)]
+		if len(inf) > 1 {
+			anyPropagation = true
+		}
+		cands = append(cands, selection.Candidate{Pair: v, Prob: st.priorOf(v), Inferred: inf})
+	}
+	st.lastCands, st.anyProp = cands, anyPropagation
+	return cands, anyPropagation
+}
+
+// Rank runs the configured Ranked strategy over the latest gather's
+// candidates. A state that has never gathered (a worker that just replayed
+// a reassigned shard's log) gathers first; the engine is already at the
+// logged sync position, so the candidates — and hence the ranks — equal
+// the ones the lost worker computed.
+func (st *ShardState) Rank(mu int) []selection.Pick {
+	if !st.gathered {
+		st.Gather()
+	}
+	if len(st.lastCands) == 0 {
+		return []selection.Pick{}
+	}
+	ranked, ok := st.p.Cfg.Strategy.(selection.Ranked)
+	if !ok {
+		return []selection.Pick{}
+	}
+	return ranked.SelectRanked(st.lastCands, mu)
+}
+
+// Ball returns q's bounded-distance ball as of the last engine sync, in
+// propagation order (ascending distance, ties by pair order), resolved
+// vertices included — the loop filters against its own result state.
+func (st *ShardState) Ball(q pair.Pair) []pair.Pair {
+	if st.eng == nil {
+		return nil
+	}
+	g := st.pipe.graph
+	qi := g.IndexOf(q)
+	if qi < 0 {
+		return nil
+	}
+	verts := g.Vertices()
+	ball := st.eng.Ball(qi)
+	out := make([]pair.Pair, len(ball))
+	for i, k := range ball.DistOrder(verts) { // smaller distance first
+		out[i] = verts[ball[k].Idx]
+	}
+	return out
+}
+
+// Rebuild rebuilds the probabilistic graph from the given estimates,
+// re-detaches the shard's resolved non-matches and resets the engine over
+// the result — the per-shard half of re-estimation (§VII-A). Walking the
+// shard's own vertices keeps the re-detach O(shard size).
+func (st *ShardState) Rebuild(est map[ergraph.RelPair]consistency.Estimate) {
+	if st.eng == nil {
+		return
+	}
+	p := st.p
+	prob := propagation.BuildProb(st.pipe.graph, p.K1, p.K2, propagation.Params{
+		Priors:      p.Priors,
+		Consistency: est,
+	})
+	for _, q := range st.pipe.graph.Vertices() {
+		if !st.detached.Has(q) {
+			continue
+		}
+		for _, e := range st.pipe.graph.Out(q) {
+			prob.SetProb(q, e.To, 0)
+		}
+		for _, e := range st.pipe.graph.In(q) {
+			prob.SetProb(e.From, q, 0)
+		}
+	}
+	st.prob = prob
+	if st.attached {
+		st.pipe.prob = prob
+	}
+	st.eng.Reset(prob)
+}
+
+// Invalidate degrades the engine to a full recompute at its next sync.
+func (st *ShardState) Invalidate() {
+	if st.eng != nil {
+		st.eng.InvalidateAll()
+	}
+}
+
+// Release drops the engine — its dist/rev ball maps are the dominant
+// memory — and returns its Dijkstra recompute count; 0 on a second call.
+func (st *ShardState) Release() int64 {
+	if st.eng == nil {
+		return 0
+	}
+	n := st.eng.Recomputes()
+	st.eng = nil
+	st.lastCands = nil
+	return n
+}
+
+// localRunner is the in-process ShardRunner: one attached ShardState per
+// shard, built concurrently under the pipeline scheduler. Its operations
+// never fail.
+type localRunner struct {
+	states []*ShardState
+}
+
+// NewLocalRunner builds the default in-process ShardRunner over the
+// prepared pipeline. The initial engine builds are the first propagation
+// work of the session; their Dijkstra fan-out lands in the shared engine
+// counters.
+func NewLocalRunner(p *Prepared) (ShardRunner, error) {
+	lr := &localRunner{states: make([]*ShardState, len(p.pipes))}
+	p.Cfg.scheduler().ForEach(len(p.pipes), func(s int) {
+		lr.states[s] = p.newAttachedShardState(s)
+	})
+	return lr, nil
+}
+
+func (r *localRunner) Resolve(s int, q pair.Pair, detach bool) error {
+	r.states[s].Resolve(q, detach)
+	return nil
+}
+
+func (r *localRunner) Damp(s int, q pair.Pair, prior float64) error {
+	r.states[s].Damp(q, prior)
+	return nil
+}
+
+func (r *localRunner) Gather(s int) ([]selection.Candidate, bool, error) {
+	cands, anyProp := r.states[s].Gather()
+	return cands, anyProp, nil
+}
+
+func (r *localRunner) Rank(s, mu int) ([]selection.Pick, error) {
+	return r.states[s].Rank(mu), nil
+}
+
+func (r *localRunner) Ball(s int, q pair.Pair) ([]pair.Pair, error) {
+	return r.states[s].Ball(q), nil
+}
+
+func (r *localRunner) Rebuild(s int, est map[ergraph.RelPair]consistency.Estimate) error {
+	r.states[s].Rebuild(est)
+	return nil
+}
+
+func (r *localRunner) Invalidate(s int) error {
+	r.states[s].Invalidate()
+	return nil
+}
+
+func (r *localRunner) Release(s int) (int64, error) {
+	return r.states[s].Release(), nil
+}
+
+func (r *localRunner) Close() (int64, error) {
+	var n int64
+	for _, st := range r.states {
+		n += st.Release()
+	}
+	return n, nil
+}

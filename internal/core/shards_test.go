@@ -95,12 +95,13 @@ func TestShardedLoopSettlesShards(t *testing.T) {
 		t.Fatalf("fixture produced %d shards", p.NumShards())
 	}
 	l := p.NewLoop()
+	states := l.r.(*localRunner).states
 	settledSeen := false
 	for !l.Done() {
-		for _, sh := range l.shards {
+		for s, sh := range l.shards {
 			if sh.settled {
 				settledSeen = true
-				if sh.eng != nil {
+				if states[s].eng != nil {
 					t.Fatal("settled shard kept its engine alive")
 				}
 			}

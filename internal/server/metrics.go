@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/session"
 )
@@ -41,6 +42,12 @@ type serverMetrics struct {
 	storeAppend   *obs.Histogram
 	storeSnapshot *obs.Histogram
 	storeFsync    *obs.Histogram
+
+	// cluster carries the coordinator's liveness/retry/failover counters.
+	// Registered unconditionally — the catalog contract doesn't know
+	// whether a given server runs clustered — so a non-clustered server
+	// exports them at zero.
+	cluster *cluster.Metrics
 }
 
 func newServerMetrics() *serverMetrics {
@@ -65,6 +72,13 @@ func newServerMetrics() *serverMetrics {
 	m.storeAppend = reg.Histogram("remp_store_append_seconds", "Session store WAL append latency (marshal + write + fsync).", nil)
 	m.storeSnapshot = reg.Histogram("remp_store_snapshot_seconds", "Session store snapshot rotation latency.", nil)
 	m.storeFsync = reg.Histogram("remp_store_fsync_seconds", "WAL fsync syscall latency inside AppendAnswer (disk store only).", nil)
+
+	m.cluster = &cluster.Metrics{
+		WorkersLive:   reg.Gauge("remp_cluster_workers_live", "Cluster workers currently passing heartbeats (0 when not clustered)."),
+		WorkerDowns:   reg.Counter("remp_cluster_worker_downs_total", "Workers marked down after missed heartbeats or repeated transport failures."),
+		RPCRetries:    reg.Counter("remp_cluster_rpc_retries_total", "Shard RPC attempts retried after a transport failure or lost worker state."),
+		Reassignments: reg.Counter("remp_cluster_shard_reassignments_total", "Shards re-prepared on a surviving worker after their owner was lost."),
+	}
 
 	// The loop trace mirrors every stage span into one labeled histogram
 	// child; the deterministic pipeline only sees the injected clock.

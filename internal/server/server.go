@@ -30,6 +30,13 @@
 // session under its original ID. Shutdown drains in-flight requests —
 // later requests are refused with 503 — and flushes all sessions so
 // recovery replays snapshots only.
+//
+// A server configured with Config.Workers runs in cluster mode: every
+// session's shard engines are placed on remp-worker processes through an
+// internal/cluster coordinator, with heartbeat liveness and crash
+// failover. The persisted create spec doubles as the worker-side
+// pipeline spec (PrepareSpec), so clustered sessions — including ones
+// recovered from the store — resolve byte-identically to local ones.
 package server
 
 import (
@@ -47,6 +54,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/kb"
 	"repro/internal/pair"
@@ -201,6 +210,7 @@ type Server struct {
 	reqID         atomic.Int64
 	defaultShards int
 	storeKind     string
+	cluster       *cluster.Coordinator // nil when not clustered
 	draining      atomic.Bool
 	// drainMu is the in-flight barrier: every gated request holds a read
 	// lock for its whole lifetime; Shutdown takes the write lock once
@@ -224,6 +234,18 @@ type Config struct {
 	// DefaultShards is the shard count applied to sessions whose create
 	// request does not specify one (0 keeps automatic sharding).
 	DefaultShards int
+	// Workers, when non-empty, puts the server in cluster mode: shard
+	// engines run on the remp-worker processes at these addresses instead
+	// of in this process.
+	Workers []string
+	// ClusterFaults injects failures into the coordinator's outgoing
+	// request frames — the -chaos drill. Nil means no injection.
+	ClusterFaults *cluster.Faults
+	// ClusterTuning overrides the coordinator's timing knobs (heartbeat
+	// cadence, liveness and RPC timeouts, retry backoff). Its Workers,
+	// Faults, Metrics and Logf fields are ignored — the server wires
+	// those itself. Zero fields keep the coordinator defaults.
+	ClusterTuning cluster.CoordinatorConfig
 }
 
 // New returns a server over an in-memory store. logf receives one line
@@ -265,6 +287,20 @@ func NewServer(cfg Config) (*Server, []string, error) {
 		ds.InstrumentFsync(metrics.clock, metrics.storeFsync)
 	}
 	store = &timedStore{Store: store, clock: metrics.clock, append: metrics.storeAppend, snapshot: metrics.storeSnapshot}
+	// The coordinator must exist before recovery below: recovered
+	// sessions' pipelines place their shards on workers too.
+	var co *cluster.Coordinator
+	if len(cfg.Workers) > 0 {
+		cc := cfg.ClusterTuning
+		cc.Workers = cfg.Workers
+		cc.Faults = cfg.ClusterFaults
+		cc.Metrics = metrics.cluster
+		cc.Logf = func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+		var cerr error
+		if co, cerr = cluster.NewCoordinator(cc); cerr != nil {
+			return nil, nil, cerr
+		}
+	}
 	s := &Server{
 		meta:          make(map[string]*sessionMeta),
 		refs:          make(map[string]string),
@@ -272,6 +308,7 @@ func NewServer(cfg Config) (*Server, []string, error) {
 		metrics:       metrics,
 		defaultShards: cfg.DefaultShards,
 		storeKind:     kind,
+		cluster:       co,
 	}
 	s.logf = func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
 	// Recovery re-prepares each stored session's pipeline from the
@@ -288,7 +325,9 @@ func NewServer(cfg Config) (*Server, []string, error) {
 			return remp.Dataset{}, remp.Options{}, "", lerr
 		}
 		recoveredMeta[id] = &sessionMeta{spec: req, namespace: namespace, k1: ds.K1, k2: ds.K2, gold: gold}
-		return ds, req.Options.ToOptions(), namespace, nil
+		opts := req.Options.ToOptions()
+		opts.Runner = s.runnerFor(meta)
+		return ds, opts, namespace, nil
 	}, metrics.pipe)
 	s.mgr = mgr
 	metrics.bindManager(s)
@@ -317,6 +356,39 @@ func NewServer(cfg Config) (*Server, []string, error) {
 // top of session snapshots.
 func (s *Server) WALReplayed() int64 { return s.mgr.WALReplayed() }
 
+// Clustered reports whether the server places shard engines on workers.
+func (s *Server) Clustered() bool { return s.cluster != nil }
+
+// runnerFor returns the shard-runner factory for a session whose
+// persisted spec is meta: the coordinator's remote runner in cluster
+// mode, nil (in-process shards) otherwise. The spec bytes handed to the
+// coordinator are exactly what PrepareSpec rebuilds worker-side, so the
+// two ends of every shard RPC agree on the pipeline.
+func (s *Server) runnerFor(meta []byte) core.RunnerFactory {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.Runner(meta)
+}
+
+// PrepareSpec rebuilds the core pipeline a persisted create spec
+// describes. It is the Prepare hook remp-worker serves shards from: the
+// coordinator ships each session's stored CreateRequest bytes verbatim,
+// and because the spec was marshaled after server defaults were baked
+// in, loadSpec + ToOptions here reproduce the coordinator's pipeline
+// deterministically.
+func PrepareSpec(spec []byte) (*core.Prepared, error) {
+	var req CreateRequest
+	if err := json.Unmarshal(spec, &req); err != nil {
+		return nil, fmt.Errorf("cluster spec: %w", err)
+	}
+	ds, _, _, err := loadSpec(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster spec: %w", err)
+	}
+	return remp.PreparePipeline(ds, req.Options.ToOptions())
+}
+
 // SetDefaultShards sets the shard count applied to sessions whose create
 // request does not specify one (the cmd/remp-server -shards flag). 0
 // keeps automatic sharding.
@@ -341,6 +413,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.log.Warn("shutdown: giving up on in-flight requests", "err", ctx.Err())
 	}
 	err := s.mgr.Close()
+	if s.cluster != nil {
+		// After mgr.Close every session's runner is closed, so the
+		// coordinator only has heartbeats and idle connections left.
+		s.cluster.Close()
+	}
 	s.log.Info("shutdown: store flushed and closed")
 	return err
 }
@@ -426,7 +503,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":           status,
 		"uptime_seconds":   float64(s.metrics.clock()) / 1e9,
 		"store":            s.storeKind,
@@ -434,7 +511,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"draining":         s.draining.Load(),
 		"persist_failures": s.mgr.PersistFailures(),
 		"wal_replayed":     s.mgr.WALReplayed(),
-	})
+	}
+	if s.cluster != nil {
+		body["cluster"] = map[string]any{
+			"workers":      s.cluster.Status(),
+			"workers_live": s.cluster.LiveWorkers(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReadyz reports readiness: 200 while accepting new work, 503 once
@@ -538,7 +622,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.mgr.NewSession(ds, req.Options.ToOptions(), namespace, meta)
+	opts := req.Options.ToOptions()
+	opts.Runner = s.runnerFor(meta)
+	sess, err := s.mgr.NewSession(ds, opts, namespace, meta)
 	if err != nil {
 		// A persistence failure is the server's fault (full disk, bad
 		// data dir), not the client's.
@@ -578,7 +664,9 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.mgr.RestoreSession(ds, dto.Create.Options.ToOptions(), namespace, dto.Session, meta)
+	opts := dto.Create.Options.ToOptions()
+	opts.Runner = s.runnerFor(meta)
+	sess, err := s.mgr.RestoreSession(ds, opts, namespace, dto.Session, meta)
 	if err != nil {
 		// An ID collision is a genuine conflict and a persistence
 		// failure is the server's fault; malformed or diverging

@@ -92,7 +92,19 @@ type Options struct {
 	// size — single-shard below a few thousand candidate pairs; 1 forces
 	// a monolithic pipeline; negative values are rejected.
 	Shards int
+	// Runner places the session's shard engines: nil (the default) keeps
+	// them in process; internal/cluster's coordinator vends factories that
+	// place them on worker processes with crash failover. Runtime-only —
+	// it never serializes (the server re-injects it per session) — and a
+	// conforming runner is observably identical to the in-process one, so
+	// results are unaffected.
+	Runner RunnerFactory
 }
+
+// RunnerFactory builds the shard-engine runner a session's loop drives;
+// see core.ShardRunner. Constructed by internal/cluster — not by API
+// consumers.
+type RunnerFactory = core.RunnerFactory
 
 // Asker abstracts a crowdsourcing platform.
 type Asker = core.Asker
@@ -172,6 +184,7 @@ func configFromOptions(opts Options) (core.Config, error) {
 	cfg.ClassifyIsolated = !opts.DisableIsolatedClassifier
 	cfg.Seed = opts.Seed
 	cfg.Shards = opts.Shards
+	cfg.Runner = opts.Runner
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, fmt.Errorf("remp: invalid options: %w", err)
 	}
@@ -191,6 +204,15 @@ func configFromOptions(opts Options) (core.Config, error) {
 // prepare validates the inputs and runs stages 1–2 of the pipeline.
 func prepare(ds Dataset, opts Options) (*core.Prepared, error) {
 	return prepareSched(ds, opts, nil, nil)
+}
+
+// PreparePipeline validates the inputs and returns the prepared core
+// pipeline without starting a loop. It exists for cluster workers, whose
+// Prepare hook rebuilds the coordinator's pipeline from a session spec
+// and serves shard states off it; ordinary API consumers want NewPipeline
+// or Resolve instead.
+func PreparePipeline(ds Dataset, opts Options) (*core.Prepared, error) {
+	return prepare(ds, opts)
 }
 
 // prepareSched is prepare with an explicit shard-work scheduler (the
