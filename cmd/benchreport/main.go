@@ -54,7 +54,10 @@ type Report struct {
 	// LoadTest is the remp-loadgen report (throughput against a live
 	// server plus the oracle-equivalence verdict), when one was run.
 	LoadTest *loadgen.Report `json:"load_test,omitempty"`
-	Datasets []DatasetSize   `json:"datasets"`
+	// Deduction is the answer-deduction report (crowd questions saved per
+	// dataset) from remp-bench -experiment deduction.
+	Deduction *experiments.DeductionReport `json:"deduction,omitempty"`
+	Datasets  []DatasetSize                `json:"datasets"`
 }
 
 // Benchmark is one `go test -bench` result line. BytesPerOp/AllocsPerOp
@@ -96,6 +99,8 @@ func main() {
 	preparePath := flag.String("prepare", "", "pre-pipeline JSON from remp-bench -experiment prepare -json")
 	minSpeedup := flag.Float64("min-prepare-speedup", 5.0, "minimum indexed-vs-naive pre-pipeline speedup (applies only when the prepare report ran the naive cross-check)")
 	loadgenPath := flag.String("loadgen", "", "load-test JSON from remp-loadgen -json")
+	deducePath := flag.String("deduce", "", "deduction JSON from remp-bench -experiment deduction -json")
+	minDeduceSavings := flag.Float64("min-deduce-savings", 0.10, "minimum crowd-questions-saved ratio deduction must reach on at least two datasets (applies only when a -deduce report is given)")
 	baselinePath := flag.String("baseline", "", "baseline BENCH json to gate against")
 	outPath := flag.String("out", "BENCH_remp.json", "output path")
 	maxRegression := flag.Float64("max-regression", 0.25, "maximum allowed relative slowdown vs baseline")
@@ -176,6 +181,18 @@ func main() {
 		report.LoadTest = &load
 	}
 
+	if *deducePath != "" {
+		data, err := os.ReadFile(*deducePath)
+		if err != nil {
+			fatalf("benchreport: %v", err)
+		}
+		var ded experiments.DeductionReport
+		if err := json.Unmarshal(data, &ded); err != nil {
+			fatalf("benchreport: parsing %s: %v", *deducePath, err)
+		}
+		report.Deduction = &ded
+	}
+
 	for _, ds := range datasets.All(experiments.DefaultSeed) {
 		report.Datasets = append(report.Datasets, DatasetSize{
 			Name:        ds.Name,
@@ -234,6 +251,9 @@ func main() {
 				failed = true
 			}
 		}
+	}
+	if gateDeduction(report.Deduction, *minDeduceSavings) {
+		failed = true
 	}
 	if *baselinePath != "" {
 		base := readBaseline(*baselinePath)
@@ -336,6 +356,52 @@ func gate(report, base *Report, baselinePath string, maxRegression float64) bool
 		} else {
 			fmt.Printf("benchreport: %s gate green vs %s (%d benchmarks, median ratio %.3f)\n", metric.key, baselinePath, len(shared), median)
 		}
+	}
+	return failed
+}
+
+// gateDeduction scores the answer-deduction report: every point must be
+// byte-equivalent to its Deduce-off reference (deduction may never
+// change a resolved pair), and the savings floor must hold on at least
+// two datasets — measured by each dataset's minimum savings across
+// shard counts, with a small epsilon so float rounding cannot flip the
+// verdict. It returns true when the gate should fail the build.
+func gateDeduction(ded *experiments.DeductionReport, minSavings float64) bool {
+	if ded == nil {
+		return false
+	}
+	const epsilon = 1e-9
+	failed := false
+	seen := make(map[string]bool)
+	var names []string
+	for _, pt := range ded.Points {
+		if !pt.Equivalent {
+			fmt.Printf("benchreport: FAIL deduction on %s @ %d shard(s) diverged from the Deduce-off reference\n", pt.Dataset, pt.Shards)
+			failed = true
+		}
+		if !seen[pt.Dataset] {
+			seen[pt.Dataset] = true
+			names = append(names, pt.Dataset)
+		}
+	}
+	atFloor := 0
+	for _, name := range names {
+		min, ok := ded.MinSavings(name)
+		if !ok {
+			continue
+		}
+		status := "below floor"
+		if min >= minSavings-epsilon {
+			atFloor++
+			status = "ok"
+		}
+		fmt.Printf("benchreport: deduction  %-55s min savings %5.1f%% %s\n", name, 100*min, status)
+	}
+	if atFloor < 2 {
+		fmt.Printf("benchreport: FAIL deduction reached the %.0f%% savings floor on %d dataset(s); at least 2 required\n", 100*minSavings, atFloor)
+		failed = true
+	} else if !failed {
+		fmt.Printf("benchreport: deduction gate green: %d/%d datasets at or above the %.0f%% floor, all points equivalent\n", atFloor, len(names), 100*minSavings)
 	}
 	return failed
 }

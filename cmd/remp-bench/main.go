@@ -37,7 +37,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "random seed for datasets, workers and samplers")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards and prepare experiments only)")
+	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this file (shards, prepare and deduction experiments only)")
 	prepN := flag.Int("n", 1_000_000, "prepare experiment: entities per KB of the scale dataset")
 	prepNaive := flag.Bool("naive", false, "prepare experiment: force the naive cross-check even above its feasibility limit (default: auto by -n)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -67,6 +67,11 @@ func main() {
 			report := experiments.ShardScalability(os.Stdout, *seed)
 			writeJSON(*jsonPath, report)
 		}
+	case *experiment == "deduction" && *jsonPath != "":
+		run = func() {
+			report := experiments.Deduction(os.Stdout, *seed)
+			writeJSON(*jsonPath, report)
+		}
 	case *experiment == "prepare":
 		if *prepN <= 0 {
 			fatalf("remp-bench: -n must be positive")
@@ -85,7 +90,7 @@ func main() {
 			fatalf("remp-bench: unknown experiment %q; available: %v", *experiment, experiments.Names())
 		}
 		if *jsonPath != "" {
-			fatalf("remp-bench: -json is only supported with -experiment shards or prepare")
+			fatalf("remp-bench: -json is only supported with -experiment shards, prepare or deduction")
 		}
 		run = func() { runner(os.Stdout, *seed) }
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/deduce"
 	"repro/internal/pair"
 )
 
@@ -53,6 +54,7 @@ func (l *Loop) monotoneInference() {
 // acceptMonotone records a monotone-inferred match under the 1:1
 // constraint; its provenance counts as propagation for reporting.
 func (l *Loop) acceptMonotone(v pair.Pair) {
+	l.record(v, deduce.Match)
 	l.res.Propagated.Add(v)
 	l.res.Matches.Add(v)
 	l.pendingSeeds = append(l.pendingSeeds, v)

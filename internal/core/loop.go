@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/crowd"
+	"repro/internal/deduce"
 	"repro/internal/obs"
 	"repro/internal/pair"
 	"repro/internal/selection"
@@ -124,6 +125,13 @@ type Loop struct {
 	// observation sets provably did not change.
 	pendingSeeds []pair.Pair
 
+	// ded is the transitive-closure deduction store (Config.Deduce); it
+	// records every resolution and lets drain skip open questions whose
+	// verdict is already implied. deduced are the skipped questions, so
+	// the session layer can swallow their late crowd answers.
+	ded     *deduce.Store
+	deduced pair.Set
+
 	recomputes int64 // Dijkstra runs of engines already released
 }
 
@@ -146,6 +154,10 @@ func (p *Prepared) NewLoop() *Loop {
 	}
 	for k, v := range p.Priors {
 		l.priors[k] = v
+	}
+	if p.Cfg.Deduce {
+		l.ded = deduce.New(deduce.OneToOne)
+		l.deduced = pair.Set{}
 	}
 	l.shards = make([]*loopShard, len(p.pipes))
 	for s := range l.shards {
@@ -186,6 +198,54 @@ func (l *Loop) shardIndex(q pair.Pair) int {
 // resolved reports whether q has been decided either way.
 func (l *Loop) resolved(q pair.Pair) bool {
 	return l.res.Matches.Has(q) || l.res.NonMatches.Has(q)
+}
+
+// WasDeduced reports whether q was skipped by answer deduction instead
+// of being answered by the crowd (always false unless Config.Deduce).
+// Drivers use it to drop a question from an already-fetched batch, and
+// the session layer to swallow a late crowd answer for it.
+func (l *Loop) WasDeduced(q pair.Pair) bool { return l.deduced.Has(q) }
+
+// DeduceEnabled reports whether the loop maintains a deduction store
+// (Config.Deduce). The session layer consults it before engaging the
+// namespace deduction tier, so a Deduce-off session never receives
+// synthesized answers.
+func (l *Loop) DeduceEnabled() bool { return l.ded != nil }
+
+// Deduces reports whether the loop's own recorded facts already imply
+// q's verdict. Unlike WasDeduced it answers before the apply cursor
+// reaches q: the session layer uses it to withhold a question from
+// publication (the crowd would answer it for nothing — the drain will
+// skip it) and to keep the namespace deduction tier from answering a
+// question this loop is about to skip by itself.
+func (l *Loop) Deduces(q pair.Pair) bool {
+	if l.ded == nil {
+		return false
+	}
+	if l.deduced.Has(q) {
+		return true
+	}
+	v, _ := l.ded.Lookup(q)
+	return v != deduce.Unknown
+}
+
+// record mirrors a resolution into the deduction store. Conflicting
+// facts (an inconsistent crowd can resolve a pair both ways) are
+// deliberately dropped: the store keeps the first fact, which is a pure
+// function of the applied-answer prefix either way.
+func (l *Loop) record(q pair.Pair, v deduce.Verdict) {
+	if l.ded != nil {
+		_ = l.ded.Record(q, v)
+	}
+}
+
+// DeduceStats returns the loop's deduction-store counters (zero when
+// Config.Deduce is off).
+func (l *Loop) DeduceStats() deduce.Stats {
+	if l.ded == nil {
+		return deduce.Stats{}
+	}
+	return l.ded.Stats()
 }
 
 // touch marks q's shard dirty: its cached candidates and selection no
@@ -229,6 +289,7 @@ func (l *Loop) runnerResolve(q pair.Pair, detach bool) {
 // markNonMatch resolves v negative: the result set, the shard dirty flag
 // and the runner's propagation state (detachment) advance together.
 func (l *Loop) markNonMatch(v pair.Pair) {
+	l.record(v, deduce.NonMatch)
 	l.res.NonMatches.Add(v)
 	l.touch(v)
 	l.runnerResolve(v, true)
@@ -325,6 +386,22 @@ func (l *Loop) drain() {
 	cfg := l.p.Cfg
 	for l.next < len(l.open) {
 		q := l.open[l.next]
+		if l.ded != nil {
+			if v, _ := l.ded.Lookup(q); v != deduce.Unknown {
+				// The recorded answers already imply q's verdict (an
+				// earlier batch-mate's cascade resolved it): skip the
+				// question instead of spending a crowd answer. Any
+				// buffered late answer is dropped; the session layer
+				// swallows re-deliveries via WasDeduced. The skip is a
+				// pure function of the applied prefix, so replays and
+				// out-of-order runs skip identically.
+				delete(l.buf, q)
+				l.next++
+				l.res.Deduced++
+				l.deduced.Add(q)
+				continue
+			}
+		}
 		labels, ok := l.buf[q]
 		if !ok {
 			return // an earlier question is still outstanding
@@ -543,6 +620,13 @@ func (l *Loop) openBatch() {
 		// Table VII): pad the batch with the highest-prior unchosen
 		// candidates once marginal benefits hit zero.
 		chosen = padBatch(cands, chosen, mu)
+	}
+	if cfg.Deduce && len(chosen) > 1 {
+		// Deduction-aware ordering: front-load the questions whose
+		// confirmation cascade closes the most open batch-mates, so the
+		// deduction skip in drain fires as often as possible. Stable on
+		// the existing global candidate order, so determinism holds.
+		chosen = selection.OrderByClosureGain(cands, chosen)
 	}
 	cfg.Obs.StageEnd(obs.StageSelect, tSelect)
 	if len(chosen) == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"slices"
 
+	"repro/internal/deduce"
 	"repro/internal/ergraph"
 	"repro/internal/pair"
 	"repro/internal/selection"
@@ -23,6 +24,10 @@ type Result struct {
 	NonMatches pair.Set
 	// Questions is the number of distinct questions asked.
 	Questions int
+	// Deduced is the number of selected questions skipped because their
+	// verdict was already implied by recorded answers (Config.Deduce):
+	// crowd questions saved by transitive-closure deduction.
+	Deduced int
 	// Loops is the number of human-machine loops executed.
 	Loops int
 }
@@ -57,6 +62,11 @@ func (p *Prepared) Run(asker Asker) *Result {
 			panic("core: loop awaiting answers with no open question")
 		}
 		for _, q := range batch {
+			if l.WasDeduced(q) {
+				// An earlier answer's cascade already implied q's
+				// verdict; deduction skipped it, so no crowd question.
+				continue
+			}
 			if err := l.Deliver(q, asker.Ask(q)); err != nil {
 				panic(err) // q came from Batch; delivery cannot fail
 			}
@@ -112,6 +122,7 @@ func padBatch(cands []selection.Candidate, chosen []int, mu int) []int {
 // the runner returns the ball in distance order, unfiltered — and the
 // whole cascade stays within q's shard by construction.
 func (l *Loop) confirmMatch(q pair.Pair) {
+	l.record(q, deduce.Match)
 	l.res.Confirmed.Add(q)
 	l.res.Matches.Add(q)
 	l.pendingSeeds = append(l.pendingSeeds, q)
@@ -133,6 +144,7 @@ func (l *Loop) confirmMatch(q pair.Pair) {
 		if l.resolved(pj) {
 			continue
 		}
+		l.record(pj, deduce.Match)
 		l.res.Propagated.Add(pj)
 		l.res.Matches.Add(pj)
 		l.pendingSeeds = append(l.pendingSeeds, pj)

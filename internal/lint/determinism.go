@@ -19,6 +19,7 @@ var deterministicPkgs = []string{
 	"repro/internal/selection",
 	"repro/internal/partition",
 	"repro/internal/session",
+	"repro/internal/deduce",
 }
 
 func inDeterministicPkg(path string) bool {

@@ -57,6 +57,9 @@ type ClusterReport struct {
 	Reassignments float64 `json:"reassignments"`
 	WorkerDowns   float64 `json:"worker_downs"`
 	RPCRetries    float64 `json:"rpc_retries"`
+	// DeduceHits sums remp_deduce_hits_total over all namespaces: crowd
+	// questions the server answered by deduction instead of a worker.
+	DeduceHits float64 `json:"deduce_hits,omitempty"`
 }
 
 // workerProc is one spawned worker process.
@@ -125,6 +128,24 @@ func scrapeMetric(text, name string) float64 {
 		}
 	}
 	return 0
+}
+
+// scrapeMetricSum sums every sample of a labeled family; missing
+// families read as 0.
+func scrapeMetricSum(text, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+"{")
+		if !ok {
+			continue
+		}
+		if _, val, ok := strings.Cut(rest, "} "); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil {
+				sum += v
+			}
+		}
+	}
+	return sum
 }
 
 // RunCluster executes one load run against a freshly spawned
@@ -216,6 +237,7 @@ func RunCluster(cfg Config, cc ClusterConfig) (*ClusterReport, error) {
 		out.Reassignments = scrapeMetric(text, "remp_cluster_shard_reassignments_total")
 		out.WorkerDowns = scrapeMetric(text, "remp_cluster_worker_downs_total")
 		out.RPCRetries = scrapeMetric(text, "remp_cluster_rpc_retries_total")
+		out.DeduceHits = scrapeMetricSum(text, "remp_deduce_hits_total")
 	} else {
 		cfg.Logf("cluster: metrics scrape failed: %v", merr)
 	}

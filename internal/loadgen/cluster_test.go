@@ -57,7 +57,10 @@ var clusterTuning = cluster.CoordinatorConfig{
 // 3-worker cluster drives concurrent sessions whose shard engines live
 // in separate worker processes; one worker is SIGKILLed mid-run; every
 // session must still finish byte-identical to the synchronous in-process
-// oracle, with the failover visible in the reassignment metrics.
+// oracle, with the failover visible in the reassignment metrics. The
+// drill runs with answer deduction on, so crash failover is exercised
+// together with the deduction tier: the oracle is a Deduce-on
+// synchronous run and byte-identity covers Result.Deduced too.
 func TestClusterSurvivesWorkerKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns and kills real worker processes")
@@ -67,7 +70,7 @@ func TestClusterSurvivesWorkerKill(t *testing.T) {
 			Sessions:    3,
 			Dataset:     "books",
 			DatasetSeed: 3,
-			Options:     server.OptionsDTO{Mu: 5, Seed: 3, Shards: 6},
+			Options:     server.OptionsDTO{Mu: 5, Seed: 3, Shards: 6, Deduce: true},
 			WorkerError: 0.05,
 			Reorder:     0.5,
 			Seed:        3,
@@ -102,8 +105,11 @@ func TestClusterSurvivesWorkerKill(t *testing.T) {
 	if rep.WorkerDowns == 0 {
 		t.Fatal("the killed worker was never marked down")
 	}
-	t.Logf("survived the kill: %d answers, %v reassignments, %v worker downs, %v rpc retries",
-		rep.Answers, rep.Reassignments, rep.WorkerDowns, rep.RPCRetries)
+	if rep.Oracle.Deduced == 0 {
+		t.Fatal("the Deduce-on oracle deduced nothing; the drill no longer exercises deduction")
+	}
+	t.Logf("survived the kill: %d answers, %d deduced by the oracle, %v reassignments, %v worker downs, %v rpc retries",
+		rep.Answers, rep.Oracle.Deduced, rep.Reassignments, rep.WorkerDowns, rep.RPCRetries)
 }
 
 // TestClusterChaosDrill runs the cluster under frame-level fault

@@ -114,6 +114,7 @@ type LatencyStats struct {
 type Oracle struct {
 	Matches   int `json:"matches"`
 	Questions int `json:"questions"`
+	Deduced   int `json:"deduced,omitempty"`
 	Loops     int `json:"loops"`
 }
 
@@ -250,8 +251,8 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: synchronous oracle failed: %w", err)
 	}
 	r.oracle = canonicalResult(ds, res)
-	r.oraclePR = Oracle{Matches: len(res.Matches), Questions: res.Questions, Loops: res.Loops}
-	cfg.Logf("oracle: %d matches, %d questions, %d loops", len(res.Matches), res.Questions, res.Loops)
+	r.oraclePR = Oracle{Matches: len(res.Matches), Questions: res.Questions, Deduced: res.Deduced, Loops: res.Loops}
+	cfg.Logf("oracle: %d matches, %d questions (%d deduced), %d loops", len(res.Matches), res.Questions, res.Deduced, res.Loops)
 
 	start := time.Now()
 	outcomes := make([]SessionOutcome, cfg.Sessions)
@@ -332,6 +333,7 @@ func canonicalResult(ds *datasets.Dataset, res *remp.Result) []byte {
 	dto := server.ResultDTO{
 		Done:              true,
 		Questions:         res.Questions,
+		Deduced:           res.Deduced,
 		Loops:             res.Loops,
 		Matches:           make([][2]string, 0, len(res.Matches)),
 		Confirmed:         len(res.Confirmed),

@@ -45,6 +45,10 @@ type family struct {
 	kind       familyKind
 	label      string // label name for vec families, "" otherwise
 
+	// vecFn, when set, makes the family fully dynamic: its children are
+	// the callback's map entries, materialized afresh at every scrape.
+	vecFn func() map[string]float64
+
 	mu      sync.Mutex
 	series  []*series
 	byLabel map[string]*series
@@ -138,6 +142,20 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return f.child("", func() *series { return &series{h: NewHistogram(bounds)} }).h
 }
 
+// CounterVecFunc registers a labeled counter family whose children are
+// read from fn at scrape time: fn returns the current value per label
+// value, for counts owned elsewhere (per-namespace manager stats).
+// Children appear and vanish with the map's keys — rendered in sorted
+// key order — and the HELP/TYPE header is emitted even when fn returns
+// no children, so the family is always visible in the exposition.
+func (r *Registry) CounterVecFunc(name, help, label string, fn func() map[string]float64) {
+	if !validMetricName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	f := r.register(name, help, kindCounter, label)
+	f.vecFn = fn
+}
+
 // CounterVec is a counter family keyed by one label. With resolves (or
 // creates) a child; resolve children once at startup and keep the
 // pointers — With locks and may allocate.
@@ -216,6 +234,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (f *family) write(b *strings.Builder) {
 	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	if f.vecFn != nil {
+		vals := f.vecFn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeSample(b, f.name, f.label+`="`+escapeLabel(k)+`"`, vals[k])
+		}
+		return
+	}
 	f.mu.Lock()
 	children := make([]*series, len(f.series))
 	copy(children, f.series)
@@ -299,6 +329,14 @@ func (r *Registry) Snapshot() map[string]any {
 }
 
 func (f *family) snapshot() any {
+	if f.vecFn != nil {
+		vals := f.vecFn()
+		byLabel := make(map[string]any, len(vals))
+		for k, v := range vals {
+			byLabel[k] = v
+		}
+		return byLabel
+	}
 	f.mu.Lock()
 	children := make([]*series, len(f.series))
 	copy(children, f.series)

@@ -1,0 +1,77 @@
+package selection
+
+// OrderByClosureGain reorders a chosen µ-batch for answer deduction:
+// questions whose answer closes the most open batch-mates come first,
+// so a deduction layer consulted between answers can skip as many of
+// the remaining questions as possible. A question closes a batch-mate
+// when confirming it would resolve the mate — the mate's vertex lies
+// in its inferred set (relational propagation) or shares an entity
+// with it (the 1:1 competitor cascade). Scheduling is greedy on the
+// expected closure count and ties keep the incoming order (the
+// strategy's global candidate order), so the reordering is a pure
+// function of the chosen set and determinism holds.
+func OrderByClosureGain(cands []Candidate, chosen []int) []int {
+	if len(chosen) < 2 {
+		return chosen
+	}
+	// Inferred[0] is a candidate's own vertex index; map each chosen
+	// vertex to its batch position to score inferred-set coverage.
+	own := make(map[int]int, len(chosen))
+	for j, cj := range chosen {
+		own[cands[cj].Inferred[0]] = j
+	}
+	// closable[i] is the set of batch positions question i would close.
+	closable := make([][]bool, len(chosen))
+	for i, ci := range chosen {
+		c := make([]bool, len(chosen))
+		for _, idx := range cands[ci].Inferred {
+			if j, ok := own[idx]; ok && j != i {
+				c[j] = true
+			}
+		}
+		p := cands[ci].Pair
+		for j, cj := range chosen {
+			if j == i {
+				continue
+			}
+			q := cands[cj].Pair
+			if q.U1 == p.U1 || q.U2 == p.U2 {
+				c[j] = true
+			}
+		}
+		closable[i] = c
+	}
+	// Greedy schedule: repeatedly emit the unscheduled question with the
+	// highest expected closure over mates not yet expected-closed — the
+	// cascade only fires on a match, so the count is weighted by the
+	// question's match probability. Ties keep the incoming order, so the
+	// schedule is a pure function of the chosen set.
+	scheduled := make([]bool, len(chosen))
+	closed := make([]bool, len(chosen))
+	out := make([]int, 0, len(chosen))
+	for len(out) < len(chosen) {
+		best, bestGain := -1, -1.0
+		for i := range chosen {
+			if scheduled[i] {
+				continue
+			}
+			n := 0
+			for j, c := range closable[i] {
+				if c && !scheduled[j] && !closed[j] {
+					n++
+				}
+			}
+			if g := cands[chosen[i]].Prob * float64(n); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		scheduled[best] = true
+		for j, c := range closable[best] {
+			if c {
+				closed[j] = true
+			}
+		}
+		out = append(out, chosen[best])
+	}
+	return out
+}

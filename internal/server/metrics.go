@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/session"
+	"repro/remp"
 )
 
 // serverMetrics bundles every metric family one Server exports under
@@ -125,6 +126,24 @@ func (m *serverMetrics) bindManager(s *Server) {
 	m.reg.CounterFunc("remp_wal_replayed_total", "WAL records replayed on top of snapshots during recovery.", func() float64 {
 		return float64(s.mgr.WALReplayed())
 	})
+	deduceVec := func(pick func(remp.DeduceStats) uint64) func() map[string]float64 {
+		return func() map[string]float64 {
+			out := make(map[string]float64)
+			for ns, st := range s.mgr.DeduceStatsByNamespace() {
+				out[ns] = float64(pick(st))
+			}
+			return out
+		}
+	}
+	m.reg.CounterVecFunc("remp_deduce_hits_total",
+		"Crowd questions answered by transitive-closure deduction instead of workers, by namespace.",
+		"namespace", deduceVec(func(st remp.DeduceStats) uint64 { return st.Hits }))
+	m.reg.CounterVecFunc("remp_deduce_clusters_total",
+		"Cluster merges among a namespace's recorded match facts, by namespace.",
+		"namespace", deduceVec(func(st remp.DeduceStats) uint64 { return st.Clusters }))
+	m.reg.CounterVecFunc("remp_deduce_conflicts_total",
+		"Contradictory facts rejected by the deduction store, by namespace.",
+		"namespace", deduceVec(func(st remp.DeduceStats) uint64 { return st.Conflicts }))
 }
 
 // timedStore decorates a session.Store with latency histograms over the

@@ -82,6 +82,10 @@ type OptionsDTO struct {
 	// Shards shards the session's pipeline (0 = auto, 1 = monolithic; see
 	// remp.Options.Shards). A server-wide default applies when omitted.
 	Shards int `json:"shards,omitempty"`
+	// Deduce enables transitive-closure answer deduction (see
+	// remp.Options.Deduce): questions whose verdicts recorded answers
+	// already imply are answered for free instead of being published.
+	Deduce bool `json:"deduce,omitempty"`
 }
 
 // ToOptions maps the DTO onto remp.Options.
@@ -90,7 +94,7 @@ func (o OptionsDTO) ToOptions() remp.Options {
 		K: o.K, Tau: o.Tau, Mu: o.Mu, LabelSimThreshold: o.LabelSimThreshold,
 		Budget: o.Budget, MaxLoops: o.MaxLoops, Strategy: o.Strategy,
 		DisableIsolatedClassifier: o.DisableIsolatedClassifier, Seed: o.Seed,
-		Shards: o.Shards,
+		Shards: o.Shards, Deduce: o.Deduce,
 	}
 }
 
@@ -153,6 +157,7 @@ type SessionInfo struct {
 	ID        string        `json:"id"`
 	State     string        `json:"state"`
 	Questions int           `json:"questions"`
+	Deduced   int           `json:"deduced,omitempty"`
 	Loops     int           `json:"loops"`
 	Shards    int           `json:"shards,omitempty"`
 	Batch     []QuestionDTO `json:"batch,omitempty"`
@@ -169,6 +174,7 @@ type PRFDTO struct {
 type ResultDTO struct {
 	Done              bool        `json:"done"`
 	Questions         int         `json:"questions"`
+	Deduced           int         `json:"deduced,omitempty"`
 	Loops             int         `json:"loops"`
 	Matches           [][2]string `json:"matches"`
 	Confirmed         int         `json:"confirmed"`
@@ -776,6 +782,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	dto := ResultDTO{
 		Done:              sess.Done(),
 		Questions:         res.Questions,
+		Deduced:           res.Deduced,
 		Loops:             res.Loops,
 		Matches:           make([][2]string, 0, len(res.Matches)),
 		Confirmed:         len(res.Confirmed),
@@ -855,6 +862,7 @@ func (s *Server) info(sess *remp.Session, withBatch bool) SessionInfo {
 		ID:        sess.ID(),
 		State:     string(sess.State()),
 		Questions: questions,
+		Deduced:   sess.Deduced(),
 		Loops:     loops,
 		Shards:    sess.Shards(),
 		Batch:     batch,

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/crowd"
+	"repro/internal/deduce"
 	"repro/internal/pair"
 )
 
@@ -19,10 +20,21 @@ import (
 // Reservations are keyed by session ID and released when the answer
 // arrives, when the owning session finishes, or when the Manager removes
 // the owner — so an abandoned session cannot starve its siblings forever.
+//
+// Keys are in the namespace's canonical KB orientation: the first session
+// to attach registers its (KB1, KB2) names via orient, and a session
+// prepared over the same dataset with the KBs swapped flips its pairs on
+// every cache operation. The cache also maintains the namespace deduction
+// store: every definitive answer is recorded as a transitive-closure fact,
+// and Deduce-enabled sessions consult it (through deduce) before posting a
+// question whose verdict the namespace's answers already imply.
 type Cache struct {
 	mu           sync.Mutex
 	answers      map[pair.Pair][]crowd.Label
 	reserved     map[pair.Pair]string // pending pair → owning session ID
+	k1, k2       string               // canonical KB orientation ("" until a session attaches)
+	oriented     bool
+	ded          *deduce.Store
 	hits         atomic.Int64
 	misses       atomic.Int64
 	reservations atomic.Int64
@@ -33,7 +45,23 @@ func NewCache() *Cache {
 	return &Cache{
 		answers:  make(map[pair.Pair][]crowd.Label),
 		reserved: make(map[pair.Pair]string),
+		ded:      deduce.New(deduce.OneToOne),
 	}
+}
+
+// orient registers a session's KB orientation and reports whether the
+// session must flip its pairs to match the cache's canonical orientation
+// (its KB names are the reverse of the first-registered session's). A
+// pipeline over different KBs than the namespace's shares keys blindly,
+// as before — namespaces are a dataset convention the caller owns.
+func (c *Cache) orient(k1, k2 string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.oriented {
+		c.k1, c.k2, c.oriented = k1, k2, true
+		return false
+	}
+	return k1 != k2 && k1 == c.k2 && k2 == c.k1
 }
 
 // answer returns the cached labels for q, counting a hit.
@@ -50,15 +78,53 @@ func (c *Cache) answer(q pair.Pair) ([]crowd.Label, bool) {
 }
 
 // put stores the answer for q (first answer wins, so every session sees
-// the same labels) and clears any reservation.
+// the same labels) and clears any reservation. Definitive answers are
+// also recorded into the namespace deduction store: the verdict a
+// prior-free truth inference assigns the labels becomes a
+// transitive-closure fact siblings can deduce from. Synthesized deduced
+// answers are not re-recorded (the fact that produced them is already in
+// the store), and a contradictory fact from an inconsistent crowd is
+// dropped — the store keeps the first fact, deterministically.
 func (c *Cache) put(q pair.Pair, labels []crowd.Label) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.answers[q]; !dup {
 		c.answers[q] = labels
+		if v := answerVerdict(labels); v != deduce.Unknown {
+			_ = c.ded.Record(q, v)
+		}
 	}
 	delete(c.reserved, q)
 }
+
+// answerVerdict maps an answer's labels to the deduction fact they
+// support: the verdict of truth inference from an uninformative prior.
+// Unresolved label sets, empty answers and synthesized deduced answers
+// record nothing.
+func answerVerdict(labels []crowd.Label) deduce.Verdict {
+	if len(labels) == 0 || labels[0].Worker.ID == DeducedWorkerID {
+		return deduce.Unknown
+	}
+	switch crowd.Infer(0.5, labels, crowd.DefaultThresholds()).Verdict {
+	case crowd.IsMatch:
+		return deduce.Match
+	case crowd.IsNonMatch:
+		return deduce.NonMatch
+	}
+	return deduce.Unknown
+}
+
+// deduce returns the verdict the namespace's recorded answers imply for
+// q, or deduce.Unknown. A hit counts into the deduction store's stats.
+func (c *Cache) deduce(q pair.Pair) deduce.Verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, _ := c.ded.Lookup(q)
+	return v
+}
+
+// DeduceStats returns the namespace deduction-store counters.
+func (c *Cache) DeduceStats() deduce.Stats { return c.ded.Stats() }
 
 // reserve claims q for owner. It reports whether owner holds the claim and
 // should publish the question; false means the pair is already answered

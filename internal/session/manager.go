@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/deduce"
 	"repro/internal/pair"
 )
 
@@ -98,6 +99,21 @@ func (m *Manager) CacheStats() (hits, misses, reservations int64) {
 		reservations += c.Reservations()
 	}
 	return hits, misses, reservations
+}
+
+// DeduceStats returns each namespace's deduction-store counters: answers
+// served by transitive closure (hits), cluster merges (unions) and
+// contradictory facts dropped (conflicts). Namespaces whose sessions
+// never enabled deduction still appear — their stores record answers as
+// facts regardless, so the counters show cluster growth with zero hits.
+func (m *Manager) DeduceStats() map[string]deduce.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]deduce.Stats, len(m.caches))
+	for ns, c := range m.caches {
+		out[ns] = c.DeduceStats()
+	}
+	return out
 }
 
 // Cache returns the namespace's shared answer cache, creating it on first

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crowd"
+	"repro/internal/deduce"
 	"repro/internal/kb"
 	"repro/internal/pair"
 )
@@ -70,16 +71,35 @@ func ParseQuestionID(id string) (pair.Pair, error) {
 	return pair.Pair{U1: kb.EntityID(u1), U2: kb.EntityID(u2)}, nil
 }
 
+// DeducedWorkerID is the reserved worker ID of answers synthesized by
+// the namespace deduction tier rather than labeled by a crowd worker.
+// Real workers use non-negative IDs by convention.
+const DeducedWorkerID = -1
+
+// SourceDeduced marks a wire label synthesized by answer deduction.
+const SourceDeduced = "deduced"
+
+// deducedQuality is the quality of a synthesized label: high enough
+// that one label resolves any clamped prior past either inference
+// threshold, so a deduced verdict is always accepted by the loop.
+const deducedQuality = 0.999
+
 // Label is one worker's answer in wire form; it is the JSON face of
 // crowd.Label.
 type Label struct {
-	// WorkerID identifies the worker (opaque to the pipeline).
+	// WorkerID identifies the worker (opaque to the pipeline). The
+	// reserved DeducedWorkerID marks deduction-synthesized answers.
 	WorkerID int `json:"worker"`
 	// Quality is the worker's answer quality λ ∈ (0,1], the weight truth
 	// inference gives the label (Eq. 17).
 	Quality float64 `json:"quality"`
 	// IsMatch is the worker's verdict.
 	IsMatch bool `json:"match"`
+	// Source is "deduced" for labels synthesized by the namespace
+	// deduction tier, empty for crowd labels. It is derived from
+	// WorkerID, so it survives wire and snapshot round-trips without
+	// widening the pipeline's label type.
+	Source string `json:"source,omitempty"`
 }
 
 // ToCrowd converts wire labels to the pipeline's label type.
@@ -91,13 +111,27 @@ func ToCrowd(labels []Label) []crowd.Label {
 	return out
 }
 
-// FromCrowd converts pipeline labels to wire form.
+// FromCrowd converts pipeline labels to wire form, restoring the
+// "deduced" source marker on synthesized labels.
 func FromCrowd(labels []crowd.Label) []Label {
 	out := make([]Label, len(labels))
 	for i, l := range labels {
 		out[i] = Label{WorkerID: l.Worker.ID, Quality: l.Worker.Quality, IsMatch: l.IsMatch}
+		if l.Worker.ID == DeducedWorkerID {
+			out[i].Source = SourceDeduced
+		}
 	}
 	return out
+}
+
+// deducedLabels synthesizes the answer for a deduced verdict: one label
+// from the reserved deduction worker, strong enough to resolve the pair
+// the way the namespace's recorded answers imply.
+func deducedLabels(v deduce.Verdict) []crowd.Label {
+	return []crowd.Label{{
+		Worker:  crowd.Worker{ID: DeducedWorkerID, Quality: deducedQuality},
+		IsMatch: v == deduce.Match,
+	}}
 }
 
 // Session is one resumable resolution job: a core.Loop behind a mutex,
@@ -109,6 +143,8 @@ type Session struct {
 	loop    *core.Loop
 	cache   *Cache     // nil when the session does not share answers
 	persist *persister // nil when the session is not journaled to a Store
+	k1, k2  string     // KB names of the session's pipeline orientation
+	flip    bool       // pipeline orientation is the reverse of the cache's
 }
 
 // New starts a session over a freshly prepared pipeline. The Prepared must
@@ -116,11 +152,26 @@ type Session struct {
 // cache may be nil; when set, the session first drains any answers the
 // cache already holds for its opening batch.
 func New(id string, p *core.Prepared, cache *Cache) *Session {
-	s := &Session{id: id, loop: p.NewLoop(), cache: cache}
+	s := &Session{id: id, loop: p.NewLoop(), cache: cache, k1: p.K1.Name(), k2: p.K2.Name()}
+	if cache != nil {
+		s.flip = cache.orient(s.k1, s.k2)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.drainCache()
 	return s
+}
+
+// canon maps a pipeline pair to the cache's canonical KB orientation: a
+// session whose pipeline was prepared with the namespace's KBs swapped
+// flips each pair, so an answer recorded by one orientation is found by
+// the other. canon is its own inverse, so it also maps cached pairs back
+// into the session's pipeline orientation.
+func (s *Session) canon(q pair.Pair) pair.Pair {
+	if !s.flip {
+		return q
+	}
+	return pair.Pair{U1: q.U2, U2: q.U1}
 }
 
 // ID returns the session identifier.
@@ -148,6 +199,15 @@ func (s *Session) Progress() (questions, loops int) {
 	return res.Questions, res.Loops
 }
 
+// Deduced returns how many selected questions were answered by
+// transitive-closure deduction instead of the crowd so far (always 0
+// unless the pipeline was prepared with Config.Deduce).
+func (s *Session) Deduced() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loop.Result().Deduced
+}
+
 // Shards returns the shard count of the session's pipeline (1 when the
 // pipeline is monolithic).
 func (s *Session) Shards() int {
@@ -170,7 +230,13 @@ func (s *Session) NextBatch() []Question {
 	}
 	var out []Question
 	for _, q := range s.loop.Batch() {
-		if s.cache != nil && !s.cache.reserve(q, s.id) {
+		if s.loop.Deduces(q) {
+			// The loop's own recorded answers already imply q's verdict;
+			// the drain will skip it once the apply cursor reaches it, so
+			// posting it would buy a crowd answer that gets discarded.
+			continue
+		}
+		if s.cache != nil && !s.cache.reserve(s.canon(q), s.id) {
 			continue // answered or posted by a sibling; drained next round
 		}
 		out = append(out, Question{ID: QuestionID(q), Pair: q})
@@ -202,11 +268,23 @@ func (s *Session) DeliverPair(q pair.Pair, labels []crowd.Label) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.loop.Deliver(q, labels); err != nil {
+		if s.loop.WasDeduced(q) {
+			// A late crowd answer for a question deduction already
+			// skipped: the pair is resolved, so the answer is swallowed
+			// rather than rejected. It is not journaled (it is not part
+			// of the loop's replayable history), but it is shared through
+			// the cache so siblings still benefit from the crowd's work.
+			if s.cache != nil {
+				s.cache.put(s.canon(q), labels)
+				s.drainCache()
+			}
+			return nil
+		}
 		return err
 	}
 	s.journalLocked(q, labels)
 	if s.cache != nil {
-		s.cache.put(q, labels)
+		s.cache.put(s.canon(q), labels)
 	}
 	s.drainCache()
 	return nil
@@ -284,6 +362,7 @@ func (s *Session) Result() *core.Result {
 		IsolatedPredicted: res.IsolatedPredicted.Clone(),
 		NonMatches:        res.NonMatches.Clone(),
 		Questions:         res.Questions,
+		Deduced:           res.Deduced,
 		Loops:             res.Loops,
 	}
 }
@@ -295,21 +374,29 @@ func (s *Session) Result() *core.Result {
 // recovered from sibling sessions would advance the loop past its own
 // durable state and the WAL suffix would no longer apply.
 func (s *Session) joinCache(c *Cache) {
+	s.flip = c.orient(s.k1, s.k2)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cache = c
 	for _, a := range s.loop.History() {
-		c.put(a.Pair, a.Labels)
+		c.put(s.canon(a.Pair), a.Labels)
 	}
 	for _, a := range s.loop.Buffered() {
-		c.put(a.Pair, a.Labels)
+		c.put(s.canon(a.Pair), a.Labels)
 	}
 	s.drainCache()
 }
 
 // drainCache delivers every cached answer for the open batch, repeating as
 // deliveries advance the loop into new batches, and releases this
-// session's reservations once the loop finishes. Callers hold s.mu.
+// session's reservations once the loop finishes. For a Deduce-enabled
+// session, the namespace deduction tier sits behind the answer cache:
+// a question no sibling has answered directly, but whose verdict the
+// namespace's recorded answers imply transitively, is answered with a
+// synthesized label through the same delivery path — journaled, shared
+// and replayed exactly like a crowd answer. Questions the loop's own
+// facts already imply are left alone (the drain skips them without any
+// answer, exactly as the synchronous driver would). Callers hold s.mu.
 func (s *Session) drainCache() {
 	if s.cache == nil {
 		return
@@ -317,7 +404,19 @@ func (s *Session) drainCache() {
 outer:
 	for !s.loop.Done() {
 		for _, q := range s.loop.Batch() {
-			if labels, ok := s.cache.answer(q); ok {
+			if s.loop.Deduces(q) {
+				continue // the loop will skip q by itself
+			}
+			labels, ok := s.cache.answer(s.canon(q))
+			if !ok && s.loop.DeduceEnabled() {
+				if v := s.cache.deduce(s.canon(q)); v != deduce.Unknown {
+					labels, ok = deducedLabels(v), true
+					// Share the synthesized answer like a crowd answer, so
+					// siblings drain it instead of re-deducing or re-posting.
+					s.cache.put(s.canon(q), labels)
+				}
+			}
+			if ok {
 				if err := s.loop.Deliver(q, labels); err != nil {
 					panic(err) // q came from Batch; delivery cannot fail
 				}

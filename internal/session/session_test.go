@@ -88,6 +88,9 @@ func assertResultsIdentical(t *testing.T, want, got *core.Result) {
 	if want.Questions != got.Questions {
 		t.Fatalf("Questions differ: want %d, got %d", want.Questions, got.Questions)
 	}
+	if want.Deduced != got.Deduced {
+		t.Fatalf("Deduced differ: want %d, got %d", want.Deduced, got.Deduced)
+	}
 	if want.Loops != got.Loops {
 		t.Fatalf("Loops differ: want %d, got %d", want.Loops, got.Loops)
 	}

@@ -121,7 +121,10 @@ func Restore(p *core.Prepared, cache *Cache, snap *Snapshot) (*Session, error) {
 			}
 		}
 	}
-	s := &Session{id: snap.ID, loop: p.NewLoop(), cache: cache}
+	s := &Session{id: snap.ID, loop: p.NewLoop(), cache: cache, k1: p.K1.Name(), k2: p.K2.Name()}
+	if cache != nil {
+		s.flip = cache.orient(s.k1, s.k2)
+	}
 	for i, rec := range append(append([]AnswerRec{}, snap.Applied...), snap.Pending...) {
 		q := pair.Pair{U1: rec.U1, U2: rec.U2}
 		labels := ToCrowd(rec.Labels)
@@ -129,7 +132,7 @@ func Restore(p *core.Prepared, cache *Cache, snap *Snapshot) (*Session, error) {
 			return nil, fmt.Errorf("session: snapshot replay diverged at answer %d: %w", i, err)
 		}
 		if cache != nil {
-			cache.put(q, labels)
+			cache.put(s.canon(q), labels)
 		}
 	}
 	if snap.Done && !s.loop.Done() {

@@ -99,6 +99,16 @@ type Options struct {
 	// conforming runner is observably identical to the in-process one, so
 	// results are unaffected.
 	Runner RunnerFactory
+	// Deduce enables transitive-closure answer deduction: every resolved
+	// pair is recorded as a fact (match ∧ match ⇒ match; a matched entity
+	// excludes its competitors under the 1:1 constraint), batches are
+	// reordered so answers close as many open batch-mates as possible,
+	// and a question whose verdict the recorded answers already imply is
+	// deduced for free instead of being posted to the crowd. Results are
+	// byte-identical to a Deduce-on synchronous oracle run regardless of
+	// sharding, delivery order or clustering; Result.Deduced counts the
+	// crowd questions saved.
+	Deduce bool
 }
 
 // RunnerFactory builds the shard-engine runner a session's loop drives;
@@ -153,6 +163,9 @@ type Result struct {
 	NonMatches map[Pair]struct{}
 	// Questions is the number of distinct questions asked.
 	Questions int
+	// Deduced is the number of selected questions answered by deduction
+	// instead of the crowd (always 0 unless Options.Deduce).
+	Deduced int
 	// Loops is the number of human-machine loops executed.
 	Loops int
 }
@@ -185,6 +198,7 @@ func configFromOptions(opts Options) (core.Config, error) {
 	cfg.Seed = opts.Seed
 	cfg.Shards = opts.Shards
 	cfg.Runner = opts.Runner
+	cfg.Deduce = opts.Deduce
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, fmt.Errorf("remp: invalid options: %w", err)
 	}
@@ -250,13 +264,13 @@ func Resolve(ds Dataset, asker Asker, opts Options) (*Result, error) {
 			// open batch while awaiting answers.
 			return nil, errors.New("remp: session stalled with no open questions")
 		}
-		for _, q := range batch {
-			if err := s.deliverCrowd(q.Pair, asker.Ask(q.Pair)); err != nil {
-				return nil, err
-			}
-			if s.Done() {
-				break
-			}
+		// Answer only the head question, then re-publish: with Deduce on,
+		// an applied answer can imply verdicts for later batch members,
+		// and NextBatch withholds those — so a deduced question never
+		// reaches the Asker. The head itself is never deducible.
+		q := batch[0]
+		if err := s.deliverCrowd(q.Pair, asker.Ask(q.Pair)); err != nil {
+			return nil, err
 		}
 	}
 	return s.Result(), nil

@@ -2,9 +2,11 @@ package remp_test
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/crowd"
 	"repro/remp"
 )
 
@@ -59,6 +61,91 @@ func TestResolveEndToEnd(t *testing.T) {
 	if len(res.Confirmed) >= gold.Size() {
 		t.Errorf("every match was worker-confirmed (%d for %d gold) — propagation did nothing",
 			len(res.Confirmed), gold.Size())
+	}
+}
+
+// countingAsker counts how many questions actually reach the platform.
+type countingAsker struct {
+	inner remp.Asker
+	asks  int
+}
+
+func (c *countingAsker) Ask(q remp.Pair) []crowd.Label {
+	c.asks++
+	return c.inner.Ask(q)
+}
+
+func (c *countingAsker) NumQuestions() int { return c.asks }
+
+// denseWorld builds a fixture with ambiguous candidates (perturbed book
+// labels under shared authors), so propagation cascades can imply
+// verdicts for open batch-mates — the raw material of deduction.
+func denseWorld(n int, seed int64) (remp.Dataset, *remp.Gold) {
+	rng := rand.New(rand.NewSource(seed))
+	k1 := remp.NewKB("left")
+	k2 := remp.NewKB("right")
+	name1, name2 := k1.AddAttr("name"), k2.AddAttr("label")
+	wrote1, wrote2 := k1.AddRel("wrote"), k2.AddRel("authorOf")
+
+	var gold []remp.Pair
+	add := func(base string, perturb bool) (remp.EntityID, remp.EntityID) {
+		u1 := k1.AddEntity("l:" + base)
+		u2 := k2.AddEntity("r:" + base)
+		l2 := base
+		if perturb && rng.Intn(3) == 0 {
+			l2 = base + " II"
+		}
+		k1.SetLabel(u1, base)
+		k2.SetLabel(u2, l2)
+		k1.AddAttrTriple(u1, name1, base)
+		k2.AddAttrTriple(u2, name2, l2)
+		gold = append(gold, remp.Pair{U1: u1, U2: u2})
+		return u1, u2
+	}
+	for i := 0; i < n; i++ {
+		a1, a2 := add(fmt.Sprintf("author %d", i), false)
+		for b := 0; b < 2; b++ {
+			b1, b2 := add(fmt.Sprintf("book %d %d", i, b), true)
+			k1.AddRelTriple(a1, wrote1, b1)
+			k2.AddRelTriple(a2, wrote2, b2)
+		}
+		add(fmt.Sprintf("editor %d", i), false)
+	}
+	return remp.Dataset{K1: k1, K2: k2}, remp.NewGold(gold)
+}
+
+// TestResolveWithDeduction checks the public Deduce option end to end:
+// the resolved sets are identical to a Deduce-off run, the crowd is
+// asked strictly fewer questions, every saved question is accounted in
+// Result.Deduced, and no deduced question ever reaches the Asker.
+func TestResolveWithDeduction(t *testing.T) {
+	ds, gold := denseWorld(6, 23)
+	base, err := remp.Resolve(ds, remp.NewOracleCrowd(gold.IsMatch), remp.Options{Mu: 4})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	asker := &countingAsker{inner: remp.NewOracleCrowd(gold.IsMatch)}
+	res, err := remp.Resolve(ds, asker, remp.Options{Mu: 4, Deduce: true})
+	if err != nil {
+		t.Fatalf("Resolve(Deduce): %v", err)
+	}
+	if res.Deduced == 0 {
+		t.Fatal("deduction saved nothing on a fixture with propagation cascades")
+	}
+	if res.Questions >= base.Questions {
+		t.Errorf("questions %d with deduction, %d without — no crowd saving", res.Questions, base.Questions)
+	}
+	if asker.asks != res.Questions {
+		t.Errorf("the Asker was called %d times for %d counted questions — a deduced question reached the crowd", asker.asks, res.Questions)
+	}
+	if len(res.Matches) != len(base.Matches) || len(res.NonMatches) != len(base.NonMatches) {
+		t.Errorf("deduction changed the result: %d/%d matches, %d/%d non-matches",
+			len(res.Matches), len(base.Matches), len(res.NonMatches), len(base.NonMatches))
+	}
+	for p := range base.Matches {
+		if _, ok := res.Matches[p]; !ok {
+			t.Fatalf("match %v lost under deduction", p)
+		}
 	}
 }
 

@@ -67,6 +67,10 @@ func (s *Session) Progress() (questions, loops int) { return s.s.Progress() }
 // (1 = monolithic pipeline).
 func (s *Session) Shards() int { return s.s.Shards() }
 
+// Deduced returns how many selected questions deduction answered instead
+// of the crowd so far (always 0 unless Options.Deduce).
+func (s *Session) Deduced() int { return s.s.Deduced() }
+
 // NextBatch returns the published questions still awaiting answers. An
 // empty batch means the session is done — except under a Manager, where
 // it can also mean every open question is already in flight in a sibling
@@ -265,6 +269,32 @@ func (m *Manager) WALReplayed() int64 { return m.m.WALReplayed() }
 // reservations across every namespace the manager serves.
 func (m *Manager) CacheStats() (hits, misses, reservations int64) { return m.m.CacheStats() }
 
+// DeduceStats are one namespace's answer-deduction counters, cumulative
+// over the manager's lifetime.
+type DeduceStats struct {
+	// Hits counts verdicts served by transitive closure instead of the
+	// crowd.
+	Hits uint64
+	// Clusters counts cluster merges (union operations) among the
+	// namespace's recorded facts.
+	Clusters uint64
+	// Conflicts counts contradictory facts rejected by the store (an
+	// inconsistent crowd answering a pair both ways).
+	Conflicts uint64
+}
+
+// DeduceStatsByNamespace returns each namespace's deduction counters.
+// Namespaces appear as soon as a session attaches, whether or not any
+// of their sessions enabled deduction (answers are recorded as facts
+// regardless; hits stay 0 until a Deduce-on session consults them).
+func (m *Manager) DeduceStatsByNamespace() map[string]DeduceStats {
+	out := make(map[string]DeduceStats)
+	for ns, s := range m.m.DeduceStats() {
+		out[ns] = DeduceStats{Hits: s.Hits, Clusters: s.Unions, Conflicts: s.Conflicts}
+	}
+	return out
+}
+
 // Flush rotates every live session's durable snapshot to its current
 // state, so a subsequent recovery replays no WAL.
 func (m *Manager) Flush() error { return m.m.FlushAll() }
@@ -281,6 +311,7 @@ func fromCoreResult(res *core.Result) *Result {
 		IsolatedPredicted: res.IsolatedPredicted,
 		NonMatches:        res.NonMatches,
 		Questions:         res.Questions,
+		Deduced:           res.Deduced,
 		Loops:             res.Loops,
 	}
 }
